@@ -1,0 +1,32 @@
+"""Ablation: the escape mechanism (§IV-C) on vs off.
+
+DESIGN.md lists this as the paper's key addition over plain reflection; the
+benchmark runs the same reflection sweep with the Inspector's loop detection
+disabled and compares final success rates for the weakest model (which loops
+the most and therefore benefits the most).
+"""
+
+from conftest import run_once
+
+from repro.experiments import table3
+from repro.llm.profiles import GPT4O_MINI
+from repro.metrics.passk import aggregate_pass_at_k
+
+
+def _run(config, harness):
+    samples = config.samples_per_case
+    with_escape = harness.run_rechisel(GPT4O_MINI, enable_escape=True)
+    without_escape = harness.run_rechisel(GPT4O_MINI, enable_escape=False)
+    cap = config.max_iterations
+    rate_with = aggregate_pass_at_k([(samples, c.pass_count_at(cap)) for c in with_escape], 1)
+    rate_without = aggregate_pass_at_k([(samples, c.pass_count_at(cap)) for c in without_escape], 1)
+    return rate_with, rate_without
+
+
+def test_ablation_escape(benchmark, config, harness):
+    rate_with, rate_without = run_once(benchmark, _run, config, harness)
+    print()
+    print(f"escape enabled : {rate_with:.2f}%")
+    print(f"escape disabled: {rate_without:.2f}%")
+    # The escape mechanism should never hurt, and typically helps the weak model.
+    assert rate_with >= rate_without - 8.0

@@ -1,0 +1,24 @@
+"""Ablation: full compiler feedback vs one-line summaries in the Reviewer prompt."""
+
+from conftest import run_once
+
+from repro.llm.profiles import GPT4O
+from repro.metrics.passk import aggregate_pass_at_k
+
+
+def _run(config, harness):
+    samples = config.samples_per_case
+    cap = config.max_iterations
+    full = harness.run_rechisel(GPT4O, feedback_detail="full")
+    summary = harness.run_rechisel(GPT4O, feedback_detail="summary")
+    rate_full = aggregate_pass_at_k([(samples, c.pass_count_at(cap)) for c in full], 1)
+    rate_summary = aggregate_pass_at_k([(samples, c.pass_count_at(cap)) for c in summary], 1)
+    return rate_full, rate_summary
+
+
+def test_ablation_feedback(benchmark, config, harness):
+    rate_full, rate_summary = run_once(benchmark, _run, config, harness)
+    print()
+    print(f"full feedback   : {rate_full:.2f}%")
+    print(f"summary feedback: {rate_summary:.2f}%")
+    assert rate_full >= 0.0 and rate_summary >= 0.0

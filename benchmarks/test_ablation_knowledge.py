@@ -1,0 +1,24 @@
+"""Ablation: Table II in-context error knowledge in the Reviewer prompt, on vs off."""
+
+from conftest import run_once
+
+from repro.llm.profiles import GPT4O
+from repro.metrics.passk import aggregate_pass_at_k
+
+
+def _run(config, harness):
+    samples = config.samples_per_case
+    cap = config.max_iterations
+    with_knowledge = harness.run_rechisel(GPT4O, use_knowledge=True)
+    without_knowledge = harness.run_rechisel(GPT4O, use_knowledge=False)
+    rate_with = aggregate_pass_at_k([(samples, c.pass_count_at(cap)) for c in with_knowledge], 1)
+    rate_without = aggregate_pass_at_k([(samples, c.pass_count_at(cap)) for c in without_knowledge], 1)
+    return rate_with, rate_without
+
+
+def test_ablation_knowledge(benchmark, config, harness):
+    rate_with, rate_without = run_once(benchmark, _run, config, harness)
+    print()
+    print(f"knowledge enabled : {rate_with:.2f}%")
+    print(f"knowledge disabled: {rate_without:.2f}%")
+    assert rate_with >= 0.0 and rate_without >= 0.0

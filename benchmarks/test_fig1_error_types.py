@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 1 (error-type proportions at baseline)."""
+
+from conftest import run_once
+
+from repro.experiments import fig1
+from repro.llm.profiles import GPT4O_MINI
+
+
+def test_fig1_error_types(benchmark, config, harness):
+    result = run_once(benchmark, fig1.run, config, harness)
+    print()
+    print(result.render())
+    # GPT-4o mini fails overwhelmingly with syntax errors (the paper's 85.4%).
+    if GPT4O_MINI in result.breakdowns:
+        breakdown = result.breakdowns[GPT4O_MINI]
+        assert breakdown.syntax > breakdown.functional

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 6 (success rate vs number of iterations)."""
+
+from conftest import run_once
+
+from repro.experiments import fig6
+
+
+def test_fig6_iteration_sweep(benchmark, config, harness):
+    result = run_once(benchmark, fig6.run, config, harness)
+    print()
+    print(result.render())
+    for model in config.models:
+        curve = result.series[model][1]
+        assert all(b >= a - 1e-9 for a, b in zip(curve, curve[1:]))

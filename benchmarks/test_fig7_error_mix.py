@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 7 (syntax/functional error mix per iteration)."""
+
+from conftest import run_once
+
+from repro.experiments import fig7
+
+
+def test_fig7_error_mix(benchmark, config, harness):
+    result = run_once(benchmark, fig7.run, config, harness)
+    print()
+    print(result.render())
+    first, last = result.mixes[0], result.mixes[-1]
+    assert last.syntax <= first.syntax

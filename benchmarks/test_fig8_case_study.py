@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 8 (the Vector5 reflection case study)."""
+
+from conftest import run_once
+
+from repro.experiments import fig8_case_study
+
+
+def test_fig8_case_study(benchmark):
+    result = run_once(benchmark, fig8_case_study.run)
+    print()
+    print(result.render())
+    assert [step.outcome for step in result.steps] == ["syntax", "syntax", "functional", "success"]

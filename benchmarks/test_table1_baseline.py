@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table I (zero-shot baseline, Chisel vs Verilog)."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1_baseline(benchmark, config, harness):
+    result = run_once(benchmark, table1.run, config, harness)
+    print()
+    print(result.render())
+    assert len(result.rows) == len(config.models)
+    for row in result.rows:
+        # Headline claim: zero-shot Chisel is markedly weaker than Verilog.
+        assert row.chisel[1] < row.verilog[1]

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table II (common errors and compiler feedback)."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2_error_catalogue(benchmark):
+    result = run_once(benchmark, table2.run)
+    print()
+    print(result.render())
+    reproduced = sum(1 for row in result.rows if row.reproduced)
+    assert reproduced >= 10

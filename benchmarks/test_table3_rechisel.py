@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table III (ReChisel success rates at n = 0, 1, 5, 10)."""
+
+from conftest import run_once
+
+from repro.experiments import table3
+
+
+def test_table3_rechisel(benchmark, config, harness):
+    result = run_once(benchmark, table3.run, config, harness)
+    print()
+    print(result.render())
+    for model in config.models:
+        rates = result.rates[model][1]
+        # Reflection must improve on the zero-shot baseline for every model.
+        assert rates[10] >= rates[0]

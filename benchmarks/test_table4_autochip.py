@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table IV (ReChisel vs AutoChip at n = 10)."""
+
+from conftest import run_once
+
+from repro.experiments import table4
+
+
+def test_table4_autochip(benchmark, config, harness):
+    result = run_once(benchmark, table4.run, config, harness)
+    print()
+    print(result.render())
+    for model in config.autochip_models:
+        # ReChisel reaches a level comparable to direct Verilog generation.
+        assert result.rechisel[model][10] >= result.autochip[model][10] - 20.0

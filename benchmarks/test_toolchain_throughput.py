@@ -1,0 +1,24 @@
+"""Benchmark: raw toolchain throughput (compile + simulate one benchmark case).
+
+Not a paper table, but the number that determines how long the paper-scale
+sweeps take; useful for tracking performance regressions in the substrate.
+"""
+
+from repro.problems.registry import build_default_registry
+from repro.toolchain.compiler import ChiselCompiler
+from repro.toolchain.simulator import Simulator
+
+REGISTRY = build_default_registry()
+COMPILER = ChiselCompiler(top="TopModule")
+SIMULATOR = Simulator(top="TopModule")
+
+
+def _compile_and_simulate():
+    problem = REGISTRY.by_id("alu_w8")
+    compiled = COMPILER.compile(problem.golden_chisel)
+    outcome = SIMULATOR.simulate(compiled.verilog, compiled.verilog, problem.build_testbench())
+    assert outcome.success
+
+
+def test_compile_and_simulate_alu(benchmark):
+    benchmark(_compile_and_simulate)

@@ -1,0 +1,13 @@
+"""Ensure the src/ layout is importable even without an editable install.
+
+Offline environments sometimes cannot complete ``pip install -e .`` (PEP 517
+editable builds need the ``wheel`` package); adding ``src`` to ``sys.path``
+here keeps ``pytest`` runnable either way.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""The paper's Fig. 8 case study: repairing the HDLBits Vector5 problem.
+
+Replays the exact four-attempt trajectory the paper reports for GPT-4o —
+two syntax errors, one functional error, then success — through the real
+ReChisel workflow, printing the compiler/simulator feedback at every step.
+
+Run with:  python examples/case_study_vector5.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments import fig8_case_study
+
+
+def main() -> None:
+    result = fig8_case_study.run()
+    print(result.render())
+    print()
+    print("Final accepted Chisel code:")
+    print(result.result.final_code)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Use the toolchain and agents on a design of your own (outside the benchmark).
+
+This example shows the downstream-user workflow:
+
+1. define a specification and a reference model in plain Python;
+2. run any Chisel source through the compiler and simulator;
+3. plug a *real* LLM into the agents through ``CallableClient`` — here a tiny
+   stub stands in for the API call, returning a first attempt with a bug and a
+   fixed version on revision, so the reflection loop is exercised end to end.
+
+Run with:  python examples/custom_design_flow.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.rechisel import ReChisel
+from repro.llm.client import CallableClient, ChatMessage
+from repro.llm.prompts import REVIEWER_SYSTEM, SECTION_REVISION_PLAN
+from repro.sim.reference import BehavioralDevice
+from repro.sim.testbench import FunctionalPoint, Testbench
+
+SPEC = """Implement a 4-bit saturating incrementer.
+Ports:
+  - input  [3:0] in
+  - input  en
+  - output [3:0] out
+When en is 1, out = min(in + 1, 15); when en is 0, out = in.
+"""
+
+FIRST_ATTEMPT = """
+import chisel3._
+
+class TopModule extends Module {
+  val io = IO(new Bundle {
+    val in = Input(UInt(4.W))
+    val en = Input(Bool())
+    val out = Output(UInt(4.W))
+  })
+  io.out := Mux(io.en, io.in + 1.U, io.in)
+}
+"""
+
+FIXED_ATTEMPT = """
+import chisel3._
+
+class TopModule extends Module {
+  val io = IO(new Bundle {
+    val in = Input(UInt(4.W))
+    val en = Input(Bool())
+    val out = Output(UInt(4.W))
+  })
+  val incremented = Mux(io.in === 15.U, 15.U, io.in + 1.U)
+  io.out := Mux(io.en, incremented, io.in)
+}
+"""
+
+
+def fake_llm(messages: list[ChatMessage]) -> str:
+    """Stands in for a real chat API: buggy first attempt, correct revision."""
+    if messages[0].content == REVIEWER_SYSTEM:
+        return (
+            "Error 1:\n  Location: the incrementer output.\n"
+            "  Root Cause: in + 1 wraps from 15 back to 0 instead of saturating.\n"
+            "  Solution: clamp the result at 15 with a Mux on in === 15."
+        )
+    if SECTION_REVISION_PLAN in messages[-1].content:
+        return f"```scala\n{FIXED_ATTEMPT}\n```"
+    return f"```scala\n{FIRST_ATTEMPT}\n```"
+
+
+def build_testbench() -> Testbench:
+    points = [
+        FunctionalPoint({"io_in": value, "io_en": enable})
+        for value in range(16)
+        for enable in (0, 1)
+    ]
+    return Testbench(points=points, reset_cycles=0)
+
+
+def main() -> None:
+    reference = BehavioralDevice(
+        output_widths={"io_out": 4},
+        combinational=lambda inputs, state: {
+            "io_out": min(inputs["io_in"] + 1, 15) if inputs["io_en"] else inputs["io_in"]
+        },
+    )
+    workflow = ReChisel(CallableClient(fake_llm), max_iterations=5)
+    result = workflow.run(SPEC, build_testbench(), reference)
+
+    print(f"success: {result.success} (after {result.success_iteration} reflection iterations)")
+    for entry in result.trace.entries:
+        print(f"--- iteration {entry.iteration}: {entry.feedback.kind.value}")
+        print("\n".join(entry.feedback.text.splitlines()[:3]))
+    print()
+    print("Accepted Verilog:")
+    print(result.final_verilog)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Quickstart: compile Chisel, simulate it, and run one ReChisel repair loop.
+
+Run with:  python examples/quickstart.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.rechisel import ReChisel
+from repro.llm.profiles import CLAUDE_SONNET, MODEL_PROFILES
+from repro.llm.synthetic import SyntheticChiselLLM
+from repro.problems.registry import build_default_registry
+from repro.toolchain.compiler import ChiselCompiler
+from repro.toolchain.simulator import Simulator
+
+COUNTER_CHISEL = """
+import chisel3._
+import chisel3.util._
+
+class TopModule extends Module {
+  val io = IO(new Bundle {
+    val en = Input(Bool())
+    val count = Output(UInt(4.W))
+  })
+  val reg = RegInit(0.U(4.W))
+  when (io.en) {
+    reg := reg + 1.U
+  }
+  io.count := reg
+}
+"""
+
+BROKEN_CHISEL = """
+import chisel3._
+
+class TopModule extends Module {
+  val io = IO(new Bundle {
+    val en = Input(Bool())
+    val count = Output(UInt(4.W))
+  })
+  val next = Wire(UInt(4.W))
+  when (io.en) { next := next + 1.U }
+  io.count := next
+}
+"""
+
+
+def main() -> None:
+    compiler = ChiselCompiler(top="TopModule")
+
+    # 1. Compile correct Chisel to Verilog.
+    good = compiler.compile(COUNTER_CHISEL)
+    print("=== Compiling a correct 4-bit counter ===")
+    print(good.verilog)
+
+    # 2. Compile broken Chisel and look at the diagnostics the Reviewer would see.
+    print("=== Compiling a broken variant (uninitialised wire) ===")
+    bad = compiler.compile(BROKEN_CHISEL)
+    print(bad.render_feedback())
+    print()
+
+    # 3. Simulate the correct design against itself on a benchmark testbench.
+    registry = build_default_registry()
+    problem = registry.by_id("counter_w4")
+    simulator = Simulator(top="TopModule")
+    outcome = simulator.simulate(good.verilog, good.verilog, problem.build_testbench())
+    print("=== Simulating the counter against the benchmark testbench ===")
+    print(outcome.render_feedback())
+    print()
+
+    # 4. Run the full ReChisel reflection loop with the synthetic Claude 3.5 Sonnet profile.
+    print("=== Running ReChisel (synthetic Claude 3.5 Sonnet) on the benchmark case ===")
+    client = SyntheticChiselLLM(registry, MODEL_PROFILES[CLAUDE_SONNET], seed=1)
+    workflow = ReChisel(client, max_iterations=10)
+    result = workflow.run(
+        problem.spec_text(), problem.build_testbench(), good.verilog, case_id=problem.problem_id
+    )
+    print(f"success: {result.success} after {result.success_iteration} reflection iterations")
+    for record in result.records:
+        print(f"  iteration {record.iteration}: {record.outcome}"
+              + (" (after escape)" if record.escaped else ""))
+
+
+if __name__ == "__main__":
+    main()

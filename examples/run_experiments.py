@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Regenerate any of the paper's tables and figures from the command line.
+
+Usage:
+    python examples/run_experiments.py table1 table3
+    python examples/run_experiments.py all
+    REPRO_FULL_EVAL=1 python examples/run_experiments.py all   # paper-scale sweep
+
+Without ``REPRO_FULL_EVAL=1`` the quick configuration (a suite-balanced subset
+of cases, 2 samples per case) is used so every experiment finishes in seconds
+to a couple of minutes.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments import fig1, fig6, fig7, fig8_case_study, table1, table2, table3, table4
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import EvaluationHarness
+
+EXPERIMENTS = ("table1", "table2", "table3", "table4", "fig1", "fig6", "fig7", "fig8")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=EXPERIMENTS + ("all",),
+        help="which tables/figures to regenerate",
+    )
+    args = parser.parse_args()
+    selected = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+
+    config = ExperimentConfig.from_environment()
+    harness = EvaluationHarness(config)
+    scale = "paper-scale" if config.max_cases is None else "quick-scale"
+    print(
+        f"Configuration: {scale} — {len(harness.problems())} cases, "
+        f"{config.samples_per_case} samples/case, {config.max_iterations} max iterations\n"
+    )
+
+    # Reflection runs are shared between Table III, Table IV, Fig. 6 and Fig. 7.
+    table3_result = None
+
+    def rechisel_runs():
+        nonlocal table3_result
+        if table3_result is None:
+            table3_result = table3.run(config, harness)
+        return table3_result
+
+    for name in selected:
+        start = time.time()
+        if name == "table1":
+            output = table1.run(config, harness).render()
+        elif name == "table2":
+            output = table2.run().render()
+        elif name == "table3":
+            output = rechisel_runs().render()
+        elif name == "table4":
+            output = table4.run(config, harness, rechisel_cases=rechisel_runs().raw).render()
+        elif name == "fig1":
+            output = fig1.run(config, harness).render()
+        elif name == "fig6":
+            output = fig6.run(config, harness, rechisel_cases=rechisel_runs().raw).render()
+        elif name == "fig7":
+            from repro.llm.profiles import GPT4O
+
+            cases = rechisel_runs().raw.get(GPT4O)
+            output = fig7.run(config, harness, rechisel_cases=cases).render()
+        else:
+            output = fig8_case_study.run().render()
+        elapsed = time.time() - start
+        print(output)
+        print(f"[{name} regenerated in {elapsed:.1f}s]\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Baselines: zero-shot generation (Table I / Fig. 1) and an AutoChip-style
+direct-Verilog reflection loop (Table IV)."""
+
+from repro.baselines.autochip import AutoChip, AutoChipResult
+from repro.baselines.zero_shot import ZeroShotOutcome, ZeroShotRunner
+
+__all__ = ["ZeroShotRunner", "ZeroShotOutcome", "AutoChip", "AutoChipResult"]

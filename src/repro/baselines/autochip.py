@@ -1,0 +1,76 @@
+"""AutoChip-style baseline: direct Verilog generation with raw feedback loops.
+
+AutoChip (Thakur et al., DAC'24) feeds compiler/simulator output straight back
+to the generating LLM without a separate Reviewer, Inspector, trace or escape
+mechanism.  This implementation mirrors that structure so Table IV compares
+ReChisel (Chisel + reflection agents) against a faithful simpler loop on
+Verilog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.generator import Generator
+from repro.llm.client import ChatClient
+from repro.problems.base import Problem
+from repro.sim.testbench import Testbench
+from repro.toolchain.simulator import Simulator
+from repro.verilog.parser import VerilogParseError, parse_verilog
+
+
+@dataclass
+class AutoChipResult:
+    """Outcome of one AutoChip run (records mirror :class:`ReChiselResult`)."""
+
+    success: bool
+    success_iteration: int | None
+    outcomes: list[str] = field(default_factory=list)  # per-iteration "success"/"syntax"/"functional"
+    final_code: str | None = None
+
+    def success_by(self, iteration_cap: int) -> bool:
+        return self.success_iteration is not None and self.success_iteration <= iteration_cap
+
+
+class AutoChip:
+    """Direct Verilog generation with feedback-only reflection."""
+
+    def __init__(self, client: ChatClient, max_iterations: int = 10):
+        self.client = client
+        self.max_iterations = max_iterations
+        self.generator = Generator(client, language="verilog")
+        self.simulator = Simulator(top="TopModule")
+
+    def run(self, problem: Problem, reference_verilog: str, testbench: Testbench | None = None) -> AutoChipResult:
+        spec = problem.spec_text()
+        testbench = testbench or problem.build_testbench()
+        result = AutoChipResult(success=False, success_iteration=None)
+
+        code = self.generator.generate(spec, problem.problem_id)
+        outcome, feedback = self._evaluate(code, reference_verilog, testbench)
+        result.outcomes.append(outcome)
+        result.final_code = code
+        if outcome == "success":
+            result.success, result.success_iteration = True, 0
+            return result
+
+        for iteration in range(1, self.max_iterations + 1):
+            # AutoChip's "revision plan" is simply the raw tool feedback.
+            code = self.generator.revise(spec, code, feedback, problem.problem_id)
+            outcome, feedback = self._evaluate(code, reference_verilog, testbench)
+            result.outcomes.append(outcome)
+            result.final_code = code
+            if outcome == "success":
+                result.success, result.success_iteration = True, iteration
+                break
+        return result
+
+    def _evaluate(self, code: str, reference_verilog: str, testbench: Testbench) -> tuple[str, str]:
+        try:
+            parse_verilog(code)
+        except VerilogParseError as exc:
+            return "syntax", f"Verilog compilation failed: {exc}"
+        outcome = self.simulator.simulate(code, reference_verilog, testbench)
+        if outcome.success:
+            return "success", "all tests passed"
+        return "functional", outcome.render_feedback()

@@ -1,0 +1,57 @@
+"""Zero-shot baseline: one generation, no reflection (Table I, Fig. 1).
+
+Supports both target languages so the Chisel-vs-Verilog comparison of the
+paper's motivation section can be reproduced with the same machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.generator import Generator
+from repro.llm.client import ChatClient
+from repro.problems.base import Problem
+from repro.toolchain.compiler import ChiselCompiler
+from repro.toolchain.simulator import Simulator
+from repro.verilog.parser import VerilogParseError, parse_verilog
+
+
+@dataclass
+class ZeroShotOutcome:
+    """Result of a single zero-shot attempt on one problem."""
+
+    success: bool
+    outcome: str  # "success", "syntax" or "functional"
+    code: str
+
+
+class ZeroShotRunner:
+    """Generate once, compile, simulate, classify the error."""
+
+    def __init__(self, client: ChatClient, language: str = "chisel"):
+        self.language = language
+        self.generator = Generator(client, language=language)
+        self.compiler = ChiselCompiler(top="TopModule")
+        self.simulator = Simulator(top="TopModule")
+
+    def run(self, problem: Problem, reference_verilog: str, seed_suffix: str = "") -> ZeroShotOutcome:
+        spec = problem.spec_text()
+        code = self.generator.generate(spec, problem.problem_id)
+        testbench = problem.build_testbench()
+
+        if self.language == "chisel":
+            compiled = self.compiler.compile(code)
+            if not compiled.success:
+                return ZeroShotOutcome(False, "syntax", code)
+            dut_verilog = compiled.verilog or ""
+        else:
+            try:
+                parse_verilog(code)
+            except VerilogParseError:
+                return ZeroShotOutcome(False, "syntax", code)
+            dut_verilog = code
+
+        outcome = self.simulator.simulate(dut_verilog, reference_verilog, testbench)
+        if outcome.success:
+            return ZeroShotOutcome(True, "success", code)
+        return ZeroShotOutcome(False, "functional", code)

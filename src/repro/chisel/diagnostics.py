@@ -1,0 +1,22 @@
+"""Compatibility shim: diagnostics live in :mod:`repro.diagnostics`.
+
+The Chisel frontend historically exposed diagnostics from this module; they
+were moved to a package-neutral location so the FIRRTL and Verilog layers can
+use them without importing the Chisel frontend.
+"""
+
+from repro.diagnostics import (
+    ChiselError,
+    Diagnostic,
+    DiagnosticList,
+    Severity,
+    SourceLocation,
+)
+
+__all__ = [
+    "ChiselError",
+    "Diagnostic",
+    "DiagnosticList",
+    "Severity",
+    "SourceLocation",
+]

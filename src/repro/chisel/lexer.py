@@ -1,0 +1,268 @@
+"""Lexer for the Chisel/Scala subset.
+
+Produces a flat token stream; the parser is newline-sensitive (Scala statement
+separation), so NEWLINE tokens are emitted for line breaks that can terminate
+a statement.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.chisel.diagnostics import ChiselError, SourceLocation
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    INTEGER = "integer"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    KEYWORD = "keyword"
+    NEWLINE = "newline"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "class",
+    "object",
+    "extends",
+    "with",
+    "val",
+    "var",
+    "def",
+    "new",
+    "if",
+    "else",
+    "for",
+    "while",
+    "yield",
+    "import",
+    "package",
+    "true",
+    "false",
+    "null",
+    "override",
+    "private",
+    "protected",
+    "implicit",
+    "lazy",
+    "case",
+    "match",
+    "return",
+}
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<->",
+    "<>",
+    "===",
+    "=/=",
+    ":=",
+    "=>",
+    "<-",
+    "->",
+    "+&",
+    "-&",
+    "+%",
+    "-%",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "&=",
+    "|=",
+    "^=",
+    "##",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "<<",
+    ">>",
+    "&&",
+    "||",
+    "=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "_",
+]
+
+_PUNCT = "(){}[].,:;@"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    location: SourceLocation
+
+    def is_op(self, *ops: str) -> bool:
+        return self.kind is TokenKind.OPERATOR and self.text in ops
+
+    def is_punct(self, *puncts: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text in puncts
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text in words
+
+    def is_ident(self, *names: str) -> bool:
+        if self.kind is not TokenKind.IDENT:
+            return False
+        return not names or self.text in names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.value}, {self.text!r}, {self.location})"
+
+
+class Lexer:
+    """Tokenise Chisel/Scala source text."""
+
+    def __init__(self, source: str, file: str = "Main.scala"):
+        self.source = source
+        self.file = file
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self.line, self.column, self.file)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index >= len(self.source):
+            return ""
+        return self.source[index]
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    def tokenize(self) -> list[Token]:
+        tokens: list[Token] = []
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch == "\n":
+                loc = self._location()
+                self._advance()
+                if tokens and tokens[-1].kind is not TokenKind.NEWLINE:
+                    tokens.append(Token(TokenKind.NEWLINE, "\n", loc))
+                continue
+            if ch in " \t\r":
+                self._advance()
+                continue
+            if ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+                continue
+            if ch == "/" and self._peek(1) == "*":
+                self._lex_block_comment()
+                continue
+            if ch == '"':
+                tokens.append(self._lex_string())
+                continue
+            if ch.isdigit():
+                tokens.append(self._lex_number())
+                continue
+            if ch.isalpha() or ch == "_" or ch == "$":
+                tokens.append(self._lex_ident())
+                continue
+            op = self._match_operator()
+            if op is not None:
+                tokens.append(op)
+                continue
+            if ch in _PUNCT:
+                loc = self._location()
+                self._advance()
+                tokens.append(Token(TokenKind.PUNCT, ch, loc))
+                continue
+            raise ChiselError.at(
+                f"illegal character {ch!r} in source", self._location(), code="LEX"
+            )
+        tokens.append(Token(TokenKind.EOF, "", self._location()))
+        return tokens
+
+    def _lex_block_comment(self) -> None:
+        start = self._location()
+        self._advance(2)
+        while self.pos < len(self.source):
+            if self._peek() == "*" and self._peek(1) == "/":
+                self._advance(2)
+                return
+            self._advance()
+        raise ChiselError.at("unterminated block comment", start, code="LEX")
+
+    def _lex_string(self) -> Token:
+        loc = self._location()
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise ChiselError.at("unterminated string literal", loc, code="LEX")
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                self._advance()
+                escaped = self._advance()
+                mapping = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+                chars.append(mapping.get(escaped, escaped))
+                continue
+            chars.append(self._advance())
+        return Token(TokenKind.STRING, "".join(chars), loc)
+
+    def _lex_number(self) -> Token:
+        loc = self._location()
+        chars: list[str] = []
+        if self._peek() == "0" and self._peek(1) in "xX":
+            chars.append(self._advance())
+            chars.append(self._advance())
+            while self._peek() and (self._peek() in "0123456789abcdefABCDEF_"):
+                chars.append(self._advance())
+        else:
+            while self._peek() and (self._peek().isdigit() or self._peek() == "_"):
+                chars.append(self._advance())
+        return Token(TokenKind.INTEGER, "".join(chars), loc)
+
+    def _lex_ident(self) -> Token:
+        loc = self._location()
+        chars: list[str] = []
+        while self._peek() and (self._peek().isalnum() or self._peek() in "_$"):
+            chars.append(self._advance())
+        text = "".join(chars)
+        if text == "_":
+            return Token(TokenKind.OPERATOR, "_", loc)
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, loc)
+
+    def _match_operator(self) -> Token | None:
+        loc = self._location()
+        for op in _OPERATORS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token(TokenKind.OPERATOR, op, loc)
+        return None
+
+
+def tokenize(source: str, file: str = "Main.scala") -> list[Token]:
+    """Convenience wrapper returning the token list for ``source``."""
+    return Lexer(source, file).tokenize()

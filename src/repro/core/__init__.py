@@ -1,0 +1,34 @@
+"""ReChisel core: the paper's primary contribution.
+
+The workflow (Fig. 2) wires three LLM agents — :class:`Generator`,
+:class::class:`Reviewer` and :class:`Inspector` — around the two external tools
+(:mod:`repro.toolchain`): generate Chisel, compile it to Verilog, simulate it
+against the reference, and on failure reflect on the structured feedback until
+the code passes or the iteration cap is reached.  The Inspector maintains the
+trace and runs the escape mechanism that breaks non-progress loops (§IV-C).
+"""
+
+from repro.core.feedback import Feedback, FeedbackKind
+from repro.core.generator import Generator
+from repro.core.inspector import Inspector
+from repro.core.knowledge import KNOWLEDGE_BASE, KnowledgeEntry, knowledge_for_codes
+from repro.core.rechisel import IterationRecord, ReChisel, ReChiselResult
+from repro.core.reviewer import Reviewer, RevisionPlan
+from repro.core.trace import Trace, TraceEntry
+
+__all__ = [
+    "Feedback",
+    "FeedbackKind",
+    "Generator",
+    "Reviewer",
+    "RevisionPlan",
+    "Inspector",
+    "Trace",
+    "TraceEntry",
+    "KnowledgeEntry",
+    "KNOWLEDGE_BASE",
+    "knowledge_for_codes",
+    "ReChisel",
+    "ReChiselResult",
+    "IterationRecord",
+]

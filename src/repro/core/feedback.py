@@ -1,0 +1,84 @@
+"""Feedback construction: turn toolchain results into reviewer-facing text.
+
+Implements the two feedback strategies of §IV-B: syntax feedback is the
+compiler's error list (location, explanation, suggestion), functional feedback
+is the list of failed functional points (inputs, expected, actual).  Each
+feedback also carries *error signatures* — (location, error class) pairs —
+which are what the Inspector compares to detect non-progress loops.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.toolchain.compiler import CompileResult
+from repro.toolchain.simulator import SimulationOutcome
+
+
+class FeedbackKind(enum.Enum):
+    SUCCESS = "success"
+    SYNTAX = "syntax"
+    FUNCTIONAL = "functional"
+
+
+@dataclass(frozen=True)
+class ErrorSignature:
+    """A stable identity for one error, used for loop detection."""
+
+    location: str
+    code: str
+    summary: str
+
+    def render(self) -> str:
+        return f"{self.location} [{self.code}] {self.summary}"
+
+
+@dataclass
+class Feedback:
+    """What the Reviewer sees for one iteration."""
+
+    kind: FeedbackKind
+    text: str
+    signatures: list[ErrorSignature] = field(default_factory=list)
+    error_codes: set[str] = field(default_factory=set)
+
+    @property
+    def is_success(self) -> bool:
+        return self.kind is FeedbackKind.SUCCESS
+
+
+def feedback_from_compile(result: CompileResult) -> Feedback:
+    """Build syntax-error feedback from a failed compilation."""
+    signatures = []
+    codes = set()
+    for diagnostic in result.errors:
+        location = str(diagnostic.location) if diagnostic.location else "unknown location"
+        code = diagnostic.code or "ERROR"
+        summary = diagnostic.message.splitlines()[0][:120]
+        signatures.append(ErrorSignature(location, code, summary))
+        codes.add(code)
+    return Feedback(FeedbackKind.SYNTAX, result.render_feedback(), signatures, codes)
+
+
+def feedback_from_simulation(outcome: SimulationOutcome) -> Feedback:
+    """Build functional-error feedback from a failed simulation."""
+    if outcome.success:
+        return Feedback(FeedbackKind.SUCCESS, "all functional points passed")
+    signatures: list[ErrorSignature] = []
+    if outcome.report is not None:
+        for mismatch in outcome.report.mismatches[:16]:
+            signatures.append(
+                ErrorSignature(
+                    location=f"output {mismatch.signal}",
+                    code="FUNC",
+                    summary=f"expected {mismatch.expected} got {mismatch.actual}",
+                )
+            )
+    else:
+        signatures.append(ErrorSignature("simulation", "FUNC", outcome.error or "simulation failed"))
+    return Feedback(FeedbackKind.FUNCTIONAL, outcome.render_feedback(), signatures, {"FUNC"})
+
+
+def success_feedback() -> Feedback:
+    return Feedback(FeedbackKind.SUCCESS, "compilation and simulation succeeded")

@@ -1,0 +1,35 @@
+"""The Generator agent (Fig. 2, steps 1 and 7)."""
+
+from __future__ import annotations
+
+from repro.llm import prompts
+from repro.llm.client import ChatClient
+
+
+class Generator:
+    """Produces Chisel (or Verilog) code from a specification and revision plans."""
+
+    def __init__(self, client: ChatClient, language: str = "chisel"):
+        self.client = client
+        self.language = language
+
+    def generate(self, spec: str, case_id: str | None = None) -> str:
+        """Initial code generation from the specification alone."""
+        messages = prompts.generation_prompt(spec, case_id, self.language)
+        response = self.client.complete(messages)
+        return prompts.extract_code_block(response)
+
+    def revise(
+        self,
+        spec: str,
+        previous_code: str,
+        revision_plan: str,
+        case_id: str | None = None,
+        escaped: bool = False,
+    ) -> str:
+        """Apply a revision plan to the previous code (one reflection iteration)."""
+        messages = prompts.revision_prompt(
+            spec, case_id, previous_code, revision_plan, self.language, escaped
+        )
+        response = self.client.complete(messages)
+        return prompts.extract_code_block(response)

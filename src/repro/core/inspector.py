@@ -1,0 +1,92 @@
+"""The Inspector agent (Fig. 2, steps 4-5): trace upkeep and the escape mechanism.
+
+Loop detection follows §IV-C: the current feedback is compared with every
+previous trace entry; if an error occurs at the same location and the causes
+are judged identical, every iteration between the two points is a non-progress
+loop.  The "same cause" judgement is made structurally (identical error class
+and summary) and, when a chat client is provided, confirmed by the LLM exactly
+as the paper describes.  On detection the looping iterations are discarded and
+the Reviewer restarts from the step immediately preceding the loop with the
+escape notice set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.feedback import Feedback
+from repro.core.trace import Trace, TraceEntry
+from repro.llm import prompts
+from repro.llm.client import ChatClient
+
+
+@dataclass
+class LoopDetection:
+    """Result of checking the current feedback against the trace."""
+
+    detected: bool
+    loop_start: int | None = None  # index into the trace where the loop began
+    discarded: int = 0
+
+
+class Inspector:
+    """Maintains the trace, detects non-progress loops and triggers escapes."""
+
+    def __init__(self, client: ChatClient | None = None, enable_escape: bool = True):
+        self.client = client
+        self.enable_escape = enable_escape
+
+    # ----------------------------------------------------------------- update
+
+    def record(self, trace: Trace, iteration: int, code: str, feedback: Feedback) -> TraceEntry:
+        """Append the current iteration's outcome to the trace (step 5)."""
+        entry = TraceEntry(iteration, code, feedback)
+        trace.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------ loops
+
+    def check_for_loop(self, trace: Trace, feedback: Feedback) -> LoopDetection:
+        """Compare the current feedback with earlier entries (step 4/5).
+
+        The most recent entry is the current iteration itself, so the scan
+        covers everything before it.
+        """
+        if not self.enable_escape or feedback.is_success or len(trace) < 2:
+            return LoopDetection(False)
+        current_signatures = {s.render() for s in feedback.signatures}
+        if not current_signatures:
+            return LoopDetection(False)
+        # Scan from the oldest entry forward: the loop is measured from its
+        # earliest occurrence, so every repeat in between gets discarded.
+        for index in range(0, len(trace.entries) - 1):
+            previous = trace.entries[index]
+            if previous.feedback.is_success:
+                continue
+            previous_signatures = {s.render() for s in previous.feedback.signatures}
+            overlap = current_signatures & previous_signatures
+            if not overlap:
+                continue
+            if self._same_cause(next(iter(overlap)), next(iter(overlap))):
+                return LoopDetection(True, loop_start=index, discarded=len(trace.entries) - 1 - index)
+        return LoopDetection(False)
+
+    def escape(self, trace: Trace, detection: LoopDetection) -> bool:
+        """Discard the looping iterations (Fig. 5).  Returns True if an escape happened."""
+        if not detection.detected or detection.loop_start is None:
+            return False
+        # Keep the entry where the loop started (the step immediately preceding
+        # the repeats) and drop everything after it, including the current one.
+        trace.discard_from(detection.loop_start + 1)
+        return True
+
+    def _same_cause(self, previous_signature: str, current_signature: str) -> bool:
+        if previous_signature == current_signature:
+            # Identical location, class and summary: structurally the same error.
+            return True
+        if self.client is None:
+            return False
+        answer = self.client.complete(
+            prompts.loop_check_prompt(previous_signature, current_signature)
+        )
+        return answer.strip().upper().startswith("YES")

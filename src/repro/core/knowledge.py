@@ -1,0 +1,175 @@
+"""Common-error knowledge base (the paper's Table II).
+
+Each entry records one recurring class of LLM-generated Chisel error: a short
+description, an incorrect and a corrected snippet, and the compiler feedback
+it produces.  The Reviewer injects the entries relevant to the current
+feedback into its prompt (in-context learning, §IV-B); the Table II experiment
+runner compiles each incorrect snippet through the toolchain to regenerate the
+feedback column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KnowledgeEntry:
+    """One Table II row."""
+
+    code: str
+    category: str
+    description: str
+    incorrect: str
+    corrected: str
+    feedback: str
+    guidance: str
+
+
+_MODULE_TEMPLATE = """import chisel3._
+import chisel3.util._
+
+class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val in = Input(UInt(4.W))
+    val out = Output(UInt(4.W))
+  }})
+{body}
+}}
+"""
+
+
+def wrap_snippet(body: str) -> str:
+    """Embed a Table II snippet into a minimal compilable module skeleton."""
+    indented = "\n".join("  " + line if line.strip() else line for line in body.splitlines())
+    return _MODULE_TEMPLATE.format(body=indented)
+
+
+KNOWLEDGE_BASE: list[KnowledgeEntry] = [
+    KnowledgeEntry(
+        code="A1",
+        category="Structural",
+        description="Misspelling, unmatched parentheses, or reference to an undefined value.",
+        incorrect="val signal = Wire(UInt(4.W))\nsgnal := 0.U\nio.out := signal",
+        corrected="val signal = Wire(UInt(4.W))\nsignal := 0.U\nio.out := signal",
+        feedback="not found: value sgnal. Did you mean signal?",
+        guidance="Check every identifier against its definition; Chisel names are ordinary Scala vals.",
+    ),
+    KnowledgeEntry(
+        code="A2",
+        category="Structural",
+        description="Mixed usage of Chisel and Scala syntax (asInstanceOf, == on hardware).",
+        incorrect="io.out := io.in.asInstanceOf[SInt].asUInt",
+        corrected="io.out := io.in.asSInt.asUInt",
+        feedback="class chisel3.UInt cannot be cast to class chisel3.SInt",
+        guidance="Use Chisel conversion methods (.asUInt/.asSInt/.asBool) instead of Scala casts, and === instead of ==.",
+    ),
+    KnowledgeEntry(
+        code="A3",
+        category="Structural",
+        description="Incorrect invocation of functions or methods (wrong arity or argument types).",
+        incorrect="val r = Seq.fill(5)(0.U)\nio.out := r(0, 2)",
+        corrected="val r = Seq.fill(5)(0.U)\nio.out := r(2)",
+        feedback="Too many arguments. Found 2, expected 1 for method apply: (i: Int)",
+        guidance="Check the arity and argument types of each call; Seq.apply takes a single Int index.",
+    ),
+    KnowledgeEntry(
+        code="B1",
+        category="Signal definition, usage and typing",
+        description="Incorrect definition of clock or reset signals using the abstract Reset type.",
+        incorrect="val rst = IO(Input(Reset()))\nio.out := io.in",
+        corrected="val rst = IO(Input(Bool()))\nio.out := io.in",
+        feedback="A port rst with abstract reset type was unable to be inferred by InferResets",
+        guidance="Declare explicit resets as Input(Bool()) or Input(AsyncReset()), not the abstract Reset().",
+    ),
+    KnowledgeEntry(
+        code="B2",
+        category="Signal definition, usage and typing",
+        description="Failure to encapsulate signals within IO()/Wire(): using a bare Chisel type as hardware.",
+        incorrect="val temp = UInt(4.W)\ntemp := io.in\nio.out := temp",
+        corrected="val temp = Wire(UInt(4.W))\ntemp := io.in\nio.out := temp",
+        feedback="must be hardware, not a bare Chisel type. Perhaps you forgot to wrap it in Wire(_) or IO(_)?",
+        guidance="A type like UInt(4.W) only describes hardware; wrap it in Wire(), Reg() or IO() to create a signal.",
+    ),
+    KnowledgeEntry(
+        code="B3",
+        category="Signal definition, usage and typing",
+        description="Wire or output signal not (fully) initialized on every path.",
+        incorrect="val w = Wire(Bool())\nwhen (io.in(0)) { w := false.B }\nio.out := w.asUInt",
+        corrected="val w = WireDefault(false.B)\nwhen (io.in(0)) { w := false.B }\nio.out := w.asUInt",
+        feedback="Reference w is not fully initialized",
+        guidance="Give conditionally-driven wires a default with WireDefault (or drive them in an .otherwise branch) — Chisel's switch has no default case.",
+    ),
+    KnowledgeEntry(
+        code="B4",
+        category="Signal definition, usage and typing",
+        description="Bundle connection mismatch: connecting records with different fields.",
+        incorrect="// a := b where a and b are Bundles with different fields",
+        corrected="// connect matching fields individually, or make both sides the same Bundle class",
+        feedback="Connection between sink (Bundle) and source (Bundle) failed: source Record missing field",
+        guidance="Bulk connections require both bundles to share field names and types; otherwise connect field by field.",
+    ),
+    KnowledgeEntry(
+        code="B5",
+        category="Signal definition, usage and typing",
+        description="Signal type mismatch, e.g. arithmetic on Bool or driving a Bool condition with a UInt.",
+        incorrect="val oks = VecInit(io.in(0), io.in(1))\nio.out := oks.reduce(_ +& _)",
+        corrected="val oks = VecInit(io.in(0), io.in(1))\nio.out := oks.map(_.asUInt).reduce(_ +& _)",
+        feedback="type mismatch;\n found   : chisel3.Bool\n required: chisel3.UInt",
+        guidance="Convert Bool values with .asUInt before arithmetic, and make sure when()/Mux() conditions are Bool.",
+    ),
+    KnowledgeEntry(
+        code="B6",
+        category="Signal definition, usage and typing",
+        description="Unsupported signal type conversion or casting (e.g. asClock on a UInt).",
+        incorrect="val invertedClk = (~clock.asUInt).asClock\nio.out := io.in",
+        corrected="val invertedClk = (!clock.asUInt.asBool).asClock\nio.out := io.in",
+        feedback="value asClock is not a member of chisel3.UInt",
+        guidance="asClock is only defined on Bool; convert through .asBool first.",
+    ),
+    KnowledgeEntry(
+        code="B7",
+        category="Signal definition, usage and typing",
+        description="Out-of-bounds access on an array-type (Vec) or bit-indexed signal.",
+        incorrect="val vector = Wire(Vec(4, UInt(4.W)))\nfor (i <- 0 until 4) { vector(i) := i.U }\nio.out := vector(4)",
+        corrected="val vector = Wire(Vec(4, UInt(4.W)))\nfor (i <- 0 until 4) { vector(i) := i.U }\nio.out := vector(3)",
+        feedback="4 is out of bounds (min 0, max 3)",
+        guidance="Static indices must lie in [0, size-1]; remember Vec and bit indices are zero-based.",
+    ),
+    KnowledgeEntry(
+        code="C1",
+        category="Miscellaneous",
+        description="Missing implicit clock when registers are used outside a clock domain (multi-clock designs).",
+        incorrect="// val out = RegNext(in)  (inside a RawModule, outside withClock)",
+        corrected="// val out = withClock(clk) { RegNext(in) }",
+        feedback="No implicit clock",
+        guidance="Inside RawModule (or for extra clock domains) wrap register definitions in withClock(...) { ... }.",
+    ),
+    KnowledgeEntry(
+        code="C2",
+        category="Miscellaneous",
+        description="Combinational loop: a wire combinationally depends on itself.",
+        incorrect="val a = Wire(UInt(4.W))\na := a + 1.U\nio.out := a",
+        corrected="val a = RegInit(0.U(4.W))\na := a + 1.U\nio.out := a",
+        feedback="Detected combinational cycle in a FIRRTL module",
+        guidance="Break feedback paths with a register; combinational signals must form an acyclic graph.",
+    ),
+]
+
+KNOWLEDGE_BY_CODE = {entry.code: entry for entry in KNOWLEDGE_BASE}
+
+
+def knowledge_for_codes(codes: list[str] | set[str]) -> list[KnowledgeEntry]:
+    """Entries relevant to the given diagnostic codes (falls back to all entries)."""
+    selected = [KNOWLEDGE_BY_CODE[c] for c in sorted(set(codes)) if c in KNOWLEDGE_BY_CODE]
+    return selected if selected else list(KNOWLEDGE_BASE)
+
+
+def render_knowledge(entries: list[KnowledgeEntry]) -> str:
+    """Render entries as the in-context learning block for the Reviewer prompt."""
+    lines: list[str] = []
+    for entry in entries:
+        lines.append(f"[{entry.code}] {entry.description}")
+        lines.append(f"  Typical compiler feedback: {entry.feedback.splitlines()[0]}")
+        lines.append(f"  Fix guidance: {entry.guidance}")
+    return "\n".join(lines)

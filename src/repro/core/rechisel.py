@@ -1,0 +1,165 @@
+"""The ReChisel workflow (Fig. 2).
+
+One :meth:`ReChisel.run` call executes the full agentic loop for a single
+specification: Generator → Compiler → Simulator → (on failure) Inspector →
+Reviewer → Generator …, up to ``max_iterations`` reflection iterations.  The
+result records the outcome of every iteration so the experiment harness can
+derive success-vs-iteration curves (Fig. 6) and error-mix statistics (Fig. 7)
+from a single run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.feedback import (
+    Feedback,
+    FeedbackKind,
+    feedback_from_compile,
+    feedback_from_simulation,
+    success_feedback,
+)
+from repro.core.generator import Generator
+from repro.core.inspector import Inspector
+from repro.core.reviewer import Reviewer
+from repro.core.trace import Trace
+from repro.llm.client import ChatClient
+from repro.sim.testbench import DeviceUnderTest, Testbench
+from repro.toolchain.compiler import ChiselCompiler
+from repro.toolchain.simulator import Simulator
+from repro.verilog.vast import VModule
+
+
+@dataclass
+class IterationRecord:
+    """Outcome of one attempt (iteration 0 is the initial zero-shot attempt)."""
+
+    iteration: int
+    outcome: str  # "success", "syntax" or "functional"
+    escaped: bool = False
+
+
+@dataclass
+class ReChiselResult:
+    """Everything the experiments need about one workflow run."""
+
+    success: bool
+    success_iteration: int | None
+    records: list[IterationRecord] = field(default_factory=list)
+    final_code: str | None = None
+    final_verilog: str | None = None
+    trace: Trace = field(default_factory=Trace)
+    escapes: int = 0
+
+    def success_by(self, iteration_cap: int) -> bool:
+        """Whether the case had succeeded with at most ``iteration_cap`` reflections."""
+        return self.success_iteration is not None and self.success_iteration <= iteration_cap
+
+    def outcome_at(self, iteration: int) -> str:
+        """The outcome after ``iteration`` reflections (holds the last known state)."""
+        if self.success_iteration is not None and iteration >= self.success_iteration:
+            return "success"
+        for record in reversed(self.records):
+            if record.iteration <= iteration:
+                return record.outcome
+        return self.records[0].outcome if self.records else "syntax"
+
+
+class ReChisel:
+    """LLM-based agentic Chisel generation with reflection and escape."""
+
+    def __init__(
+        self,
+        client: ChatClient,
+        max_iterations: int = 10,
+        enable_escape: bool = True,
+        use_knowledge: bool = True,
+        feedback_detail: str = "full",
+        compiler: ChiselCompiler | None = None,
+        simulator: Simulator | None = None,
+    ):
+        self.client = client
+        self.max_iterations = max_iterations
+        self.feedback_detail = feedback_detail
+        self.compiler = compiler or ChiselCompiler(top="TopModule")
+        self.simulator = simulator or Simulator(top="TopModule")
+        self.generator = Generator(client, language="chisel")
+        self.reviewer = Reviewer(client, language="chisel", use_knowledge=use_knowledge)
+        self.inspector = Inspector(client, enable_escape=enable_escape)
+
+    # -------------------------------------------------------------------- run
+
+    def run(
+        self,
+        spec: str,
+        testbench: Testbench,
+        reference: VModule | str | DeviceUnderTest,
+        case_id: str | None = None,
+    ) -> ReChiselResult:
+        trace = Trace()
+        result = ReChiselResult(success=False, success_iteration=None, trace=trace)
+
+        code = self.generator.generate(spec, case_id)
+        feedback, verilog = self._evaluate(code, testbench, reference)
+        self.inspector.record(trace, 0, code, feedback)
+        result.records.append(IterationRecord(0, feedback.kind.value))
+        result.final_code, result.final_verilog = code, verilog
+
+        if feedback.is_success:
+            result.success = True
+            result.success_iteration = 0
+            return result
+
+        for iteration in range(1, self.max_iterations + 1):
+            detection = self.inspector.check_for_loop(trace, feedback)
+            escaped = False
+            if detection.detected:
+                escaped = self.inspector.escape(trace, detection)
+                restart = trace.last()
+                if restart is not None:
+                    code, feedback = restart.code, restart.feedback
+
+            plan = self.reviewer.review(
+                spec, code, self._trim(feedback), trace, case_id, escaped=escaped
+            )
+            if trace.last() is not None:
+                trace.last().revision_plan = plan.text
+
+            code = self.generator.revise(spec, code, plan.text, case_id, escaped=escaped)
+            feedback, verilog = self._evaluate(code, testbench, reference)
+            self.inspector.record(trace, iteration, code, feedback)
+            result.records.append(IterationRecord(iteration, feedback.kind.value, escaped))
+            result.final_code, result.final_verilog = code, verilog
+
+            if feedback.is_success:
+                result.success = True
+                result.success_iteration = iteration
+                break
+
+        result.escapes = trace.escapes
+        return result
+
+    # ---------------------------------------------------------------- helpers
+
+    def _evaluate(
+        self,
+        code: str,
+        testbench: Testbench,
+        reference: VModule | str | DeviceUnderTest,
+    ) -> tuple[Feedback, str | None]:
+        """Run the two external tools: Compiler (step 2) and Simulator (step 3)."""
+        compile_result = self.compiler.compile(code)
+        if not compile_result.success:
+            return feedback_from_compile(compile_result), None
+        outcome = self.simulator.simulate(compile_result.verilog or "", reference, testbench)
+        if outcome.success:
+            return success_feedback(), compile_result.verilog
+        return feedback_from_simulation(outcome), compile_result.verilog
+
+    def _trim(self, feedback: Feedback) -> Feedback:
+        """Apply the feedback-granularity ablation ("summary" keeps one line per error)."""
+        if self.feedback_detail == "full":
+            return feedback
+        lines = [line for line in feedback.text.splitlines() if line.strip()]
+        summary = "\n".join(lines[:1 + len(feedback.signatures)])
+        return Feedback(feedback.kind, summary, feedback.signatures, feedback.error_codes)

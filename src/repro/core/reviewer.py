@@ -1,0 +1,57 @@
+"""The Reviewer agent (Fig. 2, step 6): feedback + trace -> revision plan."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.feedback import Feedback
+from repro.core.knowledge import knowledge_for_codes, render_knowledge
+from repro.core.trace import Trace
+from repro.llm import prompts
+from repro.llm.client import ChatClient
+
+
+@dataclass
+class RevisionPlan:
+    """The Reviewer's output: a textual plan guiding the next generation."""
+
+    text: str
+    escaped: bool = False
+
+
+class Reviewer:
+    """Analyses the trace and current feedback and writes a revision plan.
+
+    ``use_knowledge`` controls the in-context learning block built from the
+    Table II catalogue (§IV-B); disabling it is the knowledge ablation.
+    """
+
+    def __init__(self, client: ChatClient, language: str = "chisel", use_knowledge: bool = True):
+        self.client = client
+        self.language = language
+        self.use_knowledge = use_knowledge
+
+    def review(
+        self,
+        spec: str,
+        current_code: str,
+        feedback: Feedback,
+        trace: Trace,
+        case_id: str | None = None,
+        escaped: bool = False,
+    ) -> RevisionPlan:
+        knowledge_text = "(disabled)"
+        if self.use_knowledge:
+            knowledge_text = render_knowledge(knowledge_for_codes(feedback.error_codes))
+        messages = prompts.review_prompt(
+            spec,
+            case_id,
+            current_code,
+            feedback.text,
+            trace.summary(),
+            knowledge_text,
+            escaped=escaped,
+            language=self.language,
+        )
+        plan_text = self.client.complete(messages)
+        return RevisionPlan(plan_text.strip(), escaped=escaped)

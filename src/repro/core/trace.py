@@ -1,0 +1,63 @@
+"""The reflection trace maintained by the Inspector (Fig. 2, steps 4-5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.feedback import Feedback
+
+
+@dataclass
+class TraceEntry:
+    """One reflection iteration: the code tried, the feedback it received."""
+
+    iteration: int
+    code: str
+    feedback: Feedback
+    revision_plan: str | None = None
+
+    def summary_line(self) -> str:
+        kinds = {
+            "success": "passed",
+            "syntax": "compile error",
+            "functional": "simulation mismatch",
+        }
+        detail = ""
+        if self.feedback.signatures:
+            detail = ": " + "; ".join(s.render() for s in self.feedback.signatures[:3])
+        return f"iteration {self.iteration}: {kinds[self.feedback.kind.value]}{detail}"
+
+
+@dataclass
+class Trace:
+    """The full history of reflection iterations for one case."""
+
+    entries: list[TraceEntry] = field(default_factory=list)
+    discarded: list[TraceEntry] = field(default_factory=list)
+    escapes: int = 0
+
+    def append(self, entry: TraceEntry) -> None:
+        self.entries.append(entry)
+
+    def last(self) -> TraceEntry | None:
+        return self.entries[-1] if self.entries else None
+
+    def discard_from(self, index: int) -> list[TraceEntry]:
+        """Drop (and remember) every entry from ``index`` onwards — the escape step."""
+        dropped = self.entries[index:]
+        self.discarded.extend(dropped)
+        self.entries = self.entries[:index]
+        self.escapes += 1
+        return dropped
+
+    def summary(self, limit: int = 8) -> str:
+        """A compact textual summary for the Reviewer prompt."""
+        if not self.entries:
+            return "(no previous iterations)"
+        lines = [entry.summary_line() for entry in self.entries[-limit:]]
+        if len(self.entries) > limit:
+            lines.insert(0, f"... {len(self.entries) - limit} earlier iterations omitted ...")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.entries)

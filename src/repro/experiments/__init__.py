@@ -1,0 +1,14 @@
+"""Experiment runners: one module per table/figure in the paper's evaluation.
+
+Every runner takes an :class:`~repro.experiments.config.ExperimentConfig`
+(which controls how many cases, samples and models are evaluated — the full
+paper-scale settings and a quick smoke-test scale are both provided) and
+returns a result object with ``rows``/``series`` data plus a ``render()``
+method that prints the same structure the paper reports, side by side with the
+paper's numbers.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import EvaluationHarness
+
+__all__ = ["ExperimentConfig", "EvaluationHarness"]

@@ -1,0 +1,154 @@
+"""Fig. 8: the Vector5 case study, replayed through the real workflow.
+
+The paper walks through four attempts at the HDLBits ``Vector5`` problem with
+GPT-4o: two syntax errors (writing to individual bits of a ``UInt`` output,
+then of a ``UInt`` wire), one functional error (wrong inner-loop bounds), and
+finally a correct implementation.  This runner scripts exactly those four
+generations and feeds them through the unmodified ReChisel workflow, so the
+compiler feedback, revision plans and trace shown are produced by the real
+pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.rechisel import ReChisel, ReChiselResult
+from repro.llm import prompts
+from repro.llm.client import ChatMessage
+from repro.problems.families.combinational import vector5
+from repro.problems.base import SUITE_HDLBITS
+from repro.toolchain.compiler import ChiselCompiler
+
+_IO_BLOCK = """  val io = IO(new Bundle {
+    val a = Input(Bool())
+    val b = Input(Bool())
+    val c = Input(Bool())
+    val d = Input(Bool())
+    val e = Input(Bool())
+    val out = Output(UInt(25.W))
+  })"""
+
+_HEADER = "import chisel3._\nimport chisel3.util._\n\n"
+
+ITERATION_0 = _HEADER + f"""class TopModule extends Module {{
+{_IO_BLOCK}
+  val inputs = VecInit(io.a, io.b, io.c, io.d, io.e)
+  var idx = 0
+  for (i <- 0 until 5) {{
+    for (j <- 0 until 5) {{
+      when (inputs(i) === inputs(j)) {{ io.out(24 - idx) := true.B }}
+      .otherwise {{ io.out(24 - idx) := false.B }}
+      idx += 1
+    }}
+  }}
+}}
+"""
+
+ITERATION_1 = _HEADER + f"""class TopModule extends Module {{
+{_IO_BLOCK}
+  val tempOut = Wire(UInt(25.W))
+  val inputs = VecInit(io.a, io.b, io.c, io.d, io.e)
+  var idx = 0
+  for (i <- 0 until 5) {{
+    for (j <- 0 until 5) {{
+      when (inputs(i) === inputs(j)) {{ tempOut(24 - idx) := true.B }}
+      .otherwise {{ tempOut(24 - idx) := false.B }}
+      idx += 1
+    }}
+  }}
+  io.out := tempOut
+}}
+"""
+
+ITERATION_2 = _HEADER + f"""class TopModule extends Module {{
+{_IO_BLOCK}
+  val tempOut = Wire(Vec(25, Bool()))
+  val inputs = VecInit(io.a, io.b, io.c, io.d, io.e)
+  for (bit <- tempOut) {{ bit := false.B }}
+  var idx = 0
+  for (i <- 0 until 5) {{
+    for (j <- i until 5) {{
+      tempOut(24 - idx) := inputs(i) === inputs(j)
+      idx += 1
+    }}
+  }}
+  io.out := tempOut.asUInt
+}}
+"""
+
+
+class ScriptedClient:
+    """A ChatClient that replays a fixed sequence of generations.
+
+    Reviewer and Inspector requests receive short canned responses; Generator
+    requests pop the next scripted attempt.
+    """
+
+    def __init__(self, attempts: list[str]):
+        self.attempts = list(attempts)
+        self.index = 0
+
+    def complete(self, messages: list[ChatMessage]) -> str:
+        system = messages[0].content if messages else ""
+        if system == prompts.REVIEWER_SYSTEM:
+            return (
+                "Error 1:\n  Location: see compiler/simulator feedback above.\n"
+                "  Root Cause: the current construct violates the reported rule.\n"
+                "  Solution: restructure the assignment as suggested by the feedback."
+            )
+        if system == prompts.INSPECTOR_SYSTEM:
+            return "NO"
+        attempt = self.attempts[min(self.index, len(self.attempts) - 1)]
+        self.index += 1
+        return f"```scala\n{attempt}\n```"
+
+
+@dataclass
+class CaseStudyStep:
+    iteration: int
+    outcome: str
+    detail: str
+
+
+@dataclass
+class Fig8Result:
+    steps: list[CaseStudyStep] = field(default_factory=list)
+    result: ReChiselResult | None = None
+
+    def render(self) -> str:
+        lines = ["Fig. 8 — Vector5 case study (scripted GPT-4o trajectory)"]
+        for step in self.steps:
+            lines.append(f"Iteration {step.iteration}: {step.outcome}")
+            for detail_line in step.detail.splitlines()[:4]:
+                lines.append(f"    {detail_line}")
+        if self.result is not None and self.result.success:
+            lines.append(
+                f"Success after {self.result.success_iteration} reflection iterations, "
+                "matching the three-iteration repair reported in the paper."
+            )
+        return "\n".join(lines)
+
+
+def run() -> Fig8Result:
+    problem = vector5(SUITE_HDLBITS)
+    golden = problem.golden_chisel
+    client = ScriptedClient([ITERATION_0, ITERATION_1, ITERATION_2, golden])
+    workflow = ReChisel(client, max_iterations=10)
+    compiler = ChiselCompiler(top="TopModule")
+    reference = compiler.compile(golden).verilog or ""
+
+    result = workflow.run(
+        problem.spec_text(), problem.build_testbench(), reference, case_id=problem.problem_id
+    )
+    steps = []
+    for entry in result.trace.entries + result.trace.discarded:
+        steps.append(
+            CaseStudyStep(
+                entry.iteration,
+                entry.feedback.kind.value,
+                entry.feedback.text,
+            )
+        )
+    steps.sort(key=lambda step: step.iteration)
+    return Fig8Result(steps=steps, result=result)

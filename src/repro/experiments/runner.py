@@ -1,0 +1,145 @@
+"""Shared evaluation machinery for the experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.autochip import AutoChip, AutoChipResult
+from repro.baselines.zero_shot import ZeroShotRunner
+from repro.core.rechisel import ReChisel, ReChiselResult
+from repro.experiments.config import ExperimentConfig
+from repro.llm.profiles import MODEL_PROFILES
+from repro.llm.synthetic import SyntheticChiselLLM
+from repro.problems.base import Problem
+from repro.problems.registry import ProblemRegistry, build_default_registry
+from repro.toolchain.compiler import ChiselCompiler
+
+
+@dataclass
+class ZeroShotCase:
+    """Zero-shot sample outcomes for one case ("success"/"syntax"/"functional")."""
+
+    problem_id: str
+    outcomes: list[str] = field(default_factory=list)
+
+    @property
+    def pass_count(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome == "success")
+
+
+@dataclass
+class ReflectionCase:
+    """Reflection-run results for one case (one entry per sample)."""
+
+    problem_id: str
+    results: list[ReChiselResult] = field(default_factory=list)
+
+    def pass_count_at(self, iteration_cap: int) -> int:
+        return sum(1 for result in self.results if result.success_by(iteration_cap))
+
+
+@dataclass
+class AutoChipCase:
+    problem_id: str
+    results: list[AutoChipResult] = field(default_factory=list)
+
+    def pass_count_at(self, iteration_cap: int) -> int:
+        return sum(1 for result in self.results if result.success_by(iteration_cap))
+
+
+class EvaluationHarness:
+    """Runs the baseline / ReChisel / AutoChip sweeps behind every experiment."""
+
+    def __init__(self, config: ExperimentConfig, registry: ProblemRegistry | None = None):
+        self.config = config
+        self.registry = registry or build_default_registry()
+        self.compiler = ChiselCompiler(top="TopModule")
+        self._references: dict[str, str] = {}
+
+    # ----------------------------------------------------------------- inputs
+
+    def problems(self) -> list[Problem]:
+        problems = list(self.registry)
+        if self.config.max_cases is not None and self.config.max_cases < len(problems):
+            # Deterministic, suite-balanced subset: take every k-th problem.
+            stride = max(1, len(problems) // self.config.max_cases)
+            problems = problems[::stride][: self.config.max_cases]
+        return problems
+
+    def reference_verilog(self, problem: Problem) -> str:
+        if problem.problem_id not in self._references:
+            result = self.compiler.compile(problem.golden_chisel)
+            if not result.success or result.verilog is None:
+                raise RuntimeError(
+                    f"golden solution for {problem.problem_id} failed to compile:\n"
+                    f"{result.render_feedback()}"
+                )
+            self._references[problem.problem_id] = result.verilog
+        return self._references[problem.problem_id]
+
+    def client_for(self, model: str, seed_offset: int = 0) -> SyntheticChiselLLM:
+        return SyntheticChiselLLM(
+            self.registry,
+            MODEL_PROFILES[model],
+            seed=self.config.seed + seed_offset,
+            compiler=self.compiler,
+            golden_verilog_cache=self._references,
+        )
+
+    # ------------------------------------------------------------------ sweeps
+
+    def run_zero_shot(self, model: str, language: str) -> list[ZeroShotCase]:
+        """Zero-shot sweep: ``samples_per_case`` independent attempts per case."""
+        cases: list[ZeroShotCase] = []
+        for case_index, problem in enumerate(self.problems()):
+            reference = self.reference_verilog(problem)
+            case = ZeroShotCase(problem.problem_id)
+            for sample in range(self.config.samples_per_case):
+                client = self.client_for(model, seed_offset=1000 * case_index + sample)
+                runner = ZeroShotRunner(client, language=language)
+                case.outcomes.append(runner.run(problem, reference).outcome)
+            cases.append(case)
+        return cases
+
+    def run_rechisel(
+        self,
+        model: str,
+        enable_escape: bool = True,
+        use_knowledge: bool = True,
+        feedback_detail: str = "full",
+    ) -> list[ReflectionCase]:
+        """Full ReChisel sweep with the configured iteration cap."""
+        cases: list[ReflectionCase] = []
+        for case_index, problem in enumerate(self.problems()):
+            reference = self.reference_verilog(problem)
+            case = ReflectionCase(problem.problem_id)
+            testbench = problem.build_testbench()
+            spec = problem.spec_text()
+            for sample in range(self.config.samples_per_case):
+                client = self.client_for(model, seed_offset=1000 * case_index + sample)
+                workflow = ReChisel(
+                    client,
+                    max_iterations=self.config.max_iterations,
+                    enable_escape=enable_escape,
+                    use_knowledge=use_knowledge,
+                    feedback_detail=feedback_detail,
+                )
+                case.results.append(
+                    workflow.run(spec, testbench, reference, case_id=problem.problem_id)
+                )
+            cases.append(case)
+        return cases
+
+    def run_autochip(self, model: str) -> list[AutoChipCase]:
+        """AutoChip sweep (direct Verilog generation with feedback)."""
+        cases: list[AutoChipCase] = []
+        for case_index, problem in enumerate(self.problems()):
+            reference = self.reference_verilog(problem)
+            case = AutoChipCase(problem.problem_id)
+            testbench = problem.build_testbench()
+            for sample in range(self.config.samples_per_case):
+                client = self.client_for(model, seed_offset=1000 * case_index + sample)
+                runner = AutoChip(client, max_iterations=self.config.max_iterations)
+                case.results.append(runner.run(problem, reference, testbench))
+            cases.append(case)
+        return cases

@@ -1,0 +1,14 @@
+"""FIRRTL-style intermediate representation and checking/lowering passes.
+
+The Chisel elaborator (:mod:`repro.chisel.elaborator`) produces a
+:class:`~repro.firrtl.ir.Circuit`; the pass pipeline
+(:mod:`repro.firrtl.passes`) then performs the checks the paper's compiler
+feedback relies on (reset inference, width inference, initialization checking,
+combinational-loop detection) and lowers aggregate types so the Verilog
+backend (:mod:`repro.verilog.emitter`) can emit synthesizable Verilog.
+"""
+
+from repro.firrtl import ir
+from repro.firrtl.pass_manager import PassManager, run_default_pipeline
+
+__all__ = ["ir", "PassManager", "run_default_pipeline"]

@@ -1,0 +1,25 @@
+"""FIRRTL checking and lowering passes.
+
+The default pipeline (see :mod:`repro.firrtl.pass_manager`) is:
+
+1. ``InferResets``        — reject abstract ``Reset()`` ports (Table II B1).
+2. ``LowerTypes``         — flatten Vec/Bundle signals to ground signals,
+   turn dynamic indexing into mux trees / conditional writes.
+3. ``InferWidths``        — fixed-point width inference for unsized signals.
+4. ``CheckInitialization``— every wire/output driven on every path (B3).
+5. ``CheckCombLoops``     — no combinational cycles (C2).
+"""
+
+from repro.firrtl.passes.check_comb_loops import CheckCombLoops
+from repro.firrtl.passes.check_initialization import CheckInitialization
+from repro.firrtl.passes.infer_resets import InferResets
+from repro.firrtl.passes.infer_widths import InferWidths
+from repro.firrtl.passes.lower_types import LowerTypes
+
+__all__ = [
+    "InferResets",
+    "LowerTypes",
+    "InferWidths",
+    "CheckInitialization",
+    "CheckCombLoops",
+]

@@ -1,0 +1,20 @@
+"""Base class shared by all FIRRTL passes."""
+
+from __future__ import annotations
+
+from repro.diagnostics import DiagnosticList
+from repro.firrtl import ir
+
+
+class Pass:
+    """A transformation or check over a FIRRTL circuit.
+
+    Passes mutate nothing: :meth:`run` returns a (possibly new) circuit and
+    appends any findings to the supplied diagnostic list.  A pass that only
+    checks returns the input circuit unchanged.
+    """
+
+    name = "pass"
+
+    def run(self, circuit: ir.Circuit, diagnostics: DiagnosticList) -> ir.Circuit:
+        raise NotImplementedError

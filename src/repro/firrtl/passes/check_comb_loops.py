@@ -1,0 +1,94 @@
+"""CheckCombLoops: detect combinational cycles (Table II C2).
+
+Builds a dependency graph over ground signals after lowering: for every
+combinational sink (wire, node, output port) each signal referenced by a
+driving expression — including the predicates of enclosing ``when`` blocks —
+is a dependency.  Registers break cycles (their outputs change only on clock
+edges).  Any strongly-connected component with more than one node, or a
+self-loop, is reported with a sample path formatted like firtool's output.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.diagnostics import DiagnosticList
+from repro.firrtl import ir
+from repro.firrtl.passes.base import Pass
+
+
+class CheckCombLoops(Pass):
+    name = "CheckCombLoops"
+
+    def run(self, circuit: ir.Circuit, diagnostics: DiagnosticList) -> ir.Circuit:
+        for module in circuit.modules:
+            self._check_module(module, diagnostics)
+        return circuit
+
+    def _check_module(self, module: ir.Module, diagnostics: DiagnosticList) -> None:
+        registers = {
+            stmt.name
+            for stmt in ir.walk_stmts(module.body)
+            if isinstance(stmt, ir.DefRegister)
+        }
+        graph = nx.DiGraph()
+        self._add_edges(module.body, [], registers, graph)
+
+        reported: set[frozenset[str]] = set()
+        for cycle_nodes in nx.strongly_connected_components(graph):
+            if len(cycle_nodes) == 1:
+                node = next(iter(cycle_nodes))
+                if not graph.has_edge(node, node):
+                    continue
+            key = frozenset(cycle_nodes)
+            if key in reported:
+                continue
+            reported.add(key)
+            sample = self._sample_path(graph, cycle_nodes)
+            diagnostics.error(
+                f"Detected combinational cycle in a FIRRTL module {module.name}. "
+                f"Sample path: {{{sample}}}. Break the loop by inserting a register "
+                "or restructuring the logic",
+                code="C2",
+            )
+
+    def _add_edges(
+        self,
+        block: ir.Block,
+        predicates: list[ir.Expr],
+        registers: set[str],
+        graph: nx.DiGraph,
+    ) -> None:
+        for stmt in block.stmts:
+            if isinstance(stmt, ir.Connect):
+                root = ir.root_reference(stmt.target)
+                if root is None or root.name in registers:
+                    continue
+                sources = ir.expr_references(stmt.value)
+                for predicate in predicates:
+                    sources |= ir.expr_references(predicate)
+                for source in sources:
+                    if source in ("clock", "reset"):
+                        continue
+                    graph.add_edge(source, root.name)
+            elif isinstance(stmt, ir.DefNode):
+                for source in ir.expr_references(stmt.value):
+                    if source in ("clock", "reset"):
+                        continue
+                    graph.add_edge(source, stmt.name)
+            elif isinstance(stmt, ir.Conditionally):
+                self._add_edges(stmt.conseq, predicates + [stmt.predicate], registers, graph)
+                self._add_edges(stmt.alt, predicates + [stmt.predicate], registers, graph)
+            elif isinstance(stmt, ir.Block):
+                self._add_edges(stmt, predicates, registers, graph)
+
+    def _sample_path(self, graph: nx.DiGraph, nodes: set[str]) -> str:
+        start = sorted(nodes)[0]
+        if graph.has_edge(start, start):
+            return f"{start} <- {start}"
+        try:
+            cycle = nx.find_cycle(graph.subgraph(nodes), source=start)
+        except nx.NetworkXNoCycle:  # pragma: no cover - SCC guarantees a cycle
+            return start
+        names = [edge[0] for edge in cycle] + [cycle[0][0]]
+        return " <- ".join(reversed(names))

@@ -1,0 +1,85 @@
+"""CheckInitialization: every wire and output port must be driven on every path.
+
+This is the compiler-side logical check the paper highlights (Table II B3,
+"Reference w not fully initialized") and the root cause of the Fig. 4
+non-progress-loop example: a signal assigned only inside some branches of a
+``when``/``switch`` has no value on the remaining paths, which would infer a
+latch in hardware.
+
+A signal counts as initialized on a path if it is connected or invalidated on
+that path; ``WireDefault`` signals are initialized by construction;
+registers are exempt (they hold their previous value).
+"""
+
+from __future__ import annotations
+
+from repro.diagnostics import DiagnosticList, SourceLocation
+from repro.firrtl import ir
+from repro.firrtl.passes.base import Pass
+
+
+class CheckInitialization(Pass):
+    name = "CheckInitialization"
+
+    def run(self, circuit: ir.Circuit, diagnostics: DiagnosticList) -> ir.Circuit:
+        for module in circuit.modules:
+            self._check_module(module, diagnostics)
+        return circuit
+
+    def _check_module(self, module: ir.Module, diagnostics: DiagnosticList) -> None:
+        required: dict[str, tuple[str, SourceLocation | None]] = {}
+        for port in module.ports:
+            if port.direction == ir.OUTPUT:
+                required[port.name] = ("output port", port.location)
+        for stmt in ir.walk_stmts(module.body):
+            if isinstance(stmt, ir.DefWire) and not stmt.has_default:
+                required[stmt.name] = ("wire", stmt.location)
+
+        fully_assigned = self._assigned_in(module.body)
+        ever_assigned = self._ever_assigned(module.body)
+
+        for name, (kind, location) in sorted(required.items()):
+            if name in fully_assigned:
+                continue
+            if name not in ever_assigned:
+                diagnostics.error(
+                    f"Reference {name} is not initialized: the {kind} is never driven. "
+                    "Connect it with := (or initialize it with WireDefault)",
+                    location=location,
+                    code="B3",
+                )
+            else:
+                diagnostics.error(
+                    f"Reference {name} is not fully initialized: the {kind} is only "
+                    "driven inside some when/switch branches. Provide a default value "
+                    "before the conditional (e.g. WireDefault) or drive it in an "
+                    ".otherwise branch",
+                    location=location,
+                    code="B3",
+                )
+
+    def _assigned_in(self, block: ir.Block) -> set[str]:
+        """Signals driven on *every* path through ``block``."""
+        assigned: set[str] = set()
+        for stmt in block.stmts:
+            if isinstance(stmt, (ir.Connect, ir.Invalidate)):
+                root = ir.root_reference(stmt.target)
+                if root is not None and isinstance(stmt.target, ir.Reference):
+                    assigned.add(root.name)
+            elif isinstance(stmt, ir.Conditionally):
+                conseq = self._assigned_in(stmt.conseq)
+                alt = self._assigned_in(stmt.alt)
+                assigned |= conseq & alt
+            elif isinstance(stmt, ir.Block):
+                assigned |= self._assigned_in(stmt)
+        return assigned
+
+    def _ever_assigned(self, block: ir.Block) -> set[str]:
+        """Signals driven on *some* path through ``block``."""
+        assigned: set[str] = set()
+        for stmt in ir.walk_stmts(block):
+            if isinstance(stmt, (ir.Connect, ir.Invalidate)):
+                root = ir.root_reference(stmt.target)
+                if root is not None:
+                    assigned.add(root.name)
+        return assigned

@@ -1,0 +1,42 @@
+"""InferResets: reject ports declared with the abstract ``Reset()`` type.
+
+Real Chisel attempts to infer a concrete reset type (synchronous ``Bool`` or
+``AsyncReset``) for abstract resets; module-level designs that declare
+``IO(Input(Reset()))`` and then use the signal as a Bool cannot be inferred
+and firtool reports exactly the diagnostic reproduced here (Table II B1).
+In this subset abstract resets on ports are always reported, mirroring the
+common failure mode of LLM-generated code.
+"""
+
+from __future__ import annotations
+
+from repro.diagnostics import DiagnosticList
+from repro.firrtl import ir
+from repro.firrtl.passes.base import Pass
+
+
+class InferResets(Pass):
+    name = "InferResets"
+
+    def run(self, circuit: ir.Circuit, diagnostics: DiagnosticList) -> ir.Circuit:
+        for module in circuit.modules:
+            for port in module.ports:
+                if self._contains_abstract_reset(port.type):
+                    diagnostics.error(
+                        f"A port {port.name} with abstract reset type was unable to be "
+                        "inferred by InferResets (expected reset type to be a concrete "
+                        "Bool or AsyncReset); declare the port as Input(Bool()) or "
+                        "Input(AsyncReset())",
+                        location=port.location,
+                        code="B1",
+                    )
+        return circuit
+
+    def _contains_abstract_reset(self, tpe: ir.Type) -> bool:
+        if isinstance(tpe, ir.ResetType):
+            return True
+        if isinstance(tpe, ir.VectorType):
+            return self._contains_abstract_reset(tpe.element)
+        if isinstance(tpe, ir.BundleType):
+            return any(self._contains_abstract_reset(f.type) for f in tpe.fields)
+        return False

@@ -1,0 +1,141 @@
+"""InferWidths: fixed-point width inference for unsized ground signals.
+
+Runs after LowerTypes, so every declaration is ground-typed.  A signal whose
+declared width is ``None`` (``UInt()`` / ``Wire(UInt())`` / ``RegInit(0.U)``)
+gets the maximum width of every expression connected to it (including
+register init values); literal widths default to the minimal width of their
+value.  Signals whose width remains unknown after the fixed point — and
+ports, which must always carry a width — are reported.
+"""
+
+from __future__ import annotations
+
+from repro.diagnostics import DiagnosticList
+from repro.firrtl import ir
+from repro.firrtl.passes.base import Pass
+from repro.firrtl.typing import SymbolTable, TypeError_, type_of, width_of
+
+_MAX_ITERATIONS = 32
+
+
+class InferWidths(Pass):
+    name = "InferWidths"
+
+    def run(self, circuit: ir.Circuit, diagnostics: DiagnosticList) -> ir.Circuit:
+        modules = [self._infer_module(m, diagnostics) for m in circuit.modules]
+        return ir.Circuit(circuit.name, modules)
+
+    def _infer_module(self, module: ir.Module, diagnostics: DiagnosticList) -> ir.Module:
+        table = SymbolTable(module)
+
+        # Gather every (sink name, source expression) pair that constrains widths.
+        constraints: list[tuple[str, ir.Expr]] = []
+        for stmt in ir.walk_stmts(module.body):
+            if isinstance(stmt, ir.Connect):
+                root = ir.root_reference(stmt.target)
+                if root is not None:
+                    constraints.append((root.name, stmt.value))
+            elif isinstance(stmt, ir.DefRegister) and stmt.init is not None:
+                constraints.append((stmt.name, stmt.init))
+            elif isinstance(stmt, ir.DefNode):
+                constraints.append((stmt.name, stmt.value))
+
+        for _ in range(_MAX_ITERATIONS):
+            changed = False
+            for name, source in constraints:
+                current = table.types.get(name)
+                if current is None or not isinstance(current, (ir.UIntType, ir.SIntType)):
+                    continue
+                try:
+                    source_width = width_of(type_of(source, table))
+                except TypeError_:
+                    continue
+                if source_width is None:
+                    continue
+                if current.width is None or current.width < source_width:
+                    # Connections to a *declared-width* signal never widen it
+                    # (Chisel truncates); only undeclared widths are inferred.
+                    if self._declared_width(module, name) is not None:
+                        continue
+                    new_width = source_width if current.width is None else max(current.width, source_width)
+                    new_type = (
+                        ir.SIntType(new_width)
+                        if isinstance(current, ir.SIntType)
+                        else ir.UIntType(new_width)
+                    )
+                    table.update(name, new_type)
+                    changed = True
+            if not changed:
+                break
+
+        # Write the inferred widths back into the declarations.
+        rewritten = self._rewrite_module(module, table)
+
+        for port in rewritten.ports:
+            if isinstance(port.type, (ir.UIntType, ir.SIntType)) and port.type.width is None:
+                diagnostics.error(
+                    f"unable to infer width of port {port.name}; specify the width "
+                    f"explicitly (e.g. UInt(8.W))",
+                    location=port.location,
+                    code="WIDTH",
+                )
+        for stmt in ir.walk_stmts(rewritten.body):
+            if isinstance(stmt, (ir.DefWire, ir.DefRegister)):
+                if isinstance(stmt.type, (ir.UIntType, ir.SIntType)) and stmt.type.width is None:
+                    diagnostics.error(
+                        f"unable to infer width of {stmt.name}; it is never driven by a "
+                        "sized expression",
+                        location=stmt.location,
+                        code="WIDTH",
+                    )
+        return rewritten
+
+    def _declared_width(self, module: ir.Module, name: str) -> int | None:
+        port = module.port_named(name)
+        if port is not None:
+            return width_of(port.type)
+        for stmt in ir.walk_stmts(module.body):
+            if isinstance(stmt, (ir.DefWire, ir.DefRegister)) and stmt.name == name:
+                return width_of(stmt.type)
+        return None
+
+    def _rewrite_module(self, module: ir.Module, table: SymbolTable) -> ir.Module:
+        ports = [
+            ir.Port(p.name, p.direction, table.types.get(p.name, p.type), p.location)
+            for p in module.ports
+        ]
+        body = ir.Block()
+        self._rewrite_block(module.body, body, table)
+        return ir.Module(module.name, ports, body)
+
+    def _rewrite_block(self, block: ir.Block, out: ir.Block, table: SymbolTable) -> None:
+        for stmt in block.stmts:
+            if isinstance(stmt, ir.DefWire):
+                out.append(
+                    ir.DefWire(
+                        stmt.name, table.types.get(stmt.name, stmt.type), stmt.location, stmt.has_default
+                    )
+                )
+            elif isinstance(stmt, ir.DefRegister):
+                out.append(
+                    ir.DefRegister(
+                        stmt.name,
+                        table.types.get(stmt.name, stmt.type),
+                        stmt.clock,
+                        stmt.reset,
+                        stmt.init,
+                        stmt.location,
+                    )
+                )
+            elif isinstance(stmt, ir.Conditionally):
+                conseq = ir.Block()
+                alt = ir.Block()
+                self._rewrite_block(stmt.conseq, conseq, table)
+                self._rewrite_block(stmt.alt, alt, table)
+                out.append(ir.Conditionally(stmt.predicate, conseq, alt, stmt.location))
+            elif isinstance(stmt, ir.Block):
+                inner = ir.Block()
+                self._rewrite_block(stmt, inner, table)
+                out.append(inner)
+            else:
+                out.append(stmt)

@@ -1,0 +1,393 @@
+"""LowerTypes: flatten aggregate signals into ground-typed signals.
+
+After this pass every wire, register and port has a ground type
+(``UInt``/``SInt``/``Clock``), which is what both the Verilog emitter and the
+simulator consume:
+
+* ``Vec`` signals become ``name_0 .. name_{n-1}``;
+* ``Bundle`` signals become ``name_field`` (recursively);
+* static indexing / field selection is rewritten to the flattened name;
+* dynamic reads (``vec(idx)``) become a mux chain;
+* dynamic writes (``vec(idx) := x``) become one conditional write per element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.diagnostics import DiagnosticList, SourceLocation
+from repro.firrtl import ir
+from repro.firrtl.passes.base import Pass
+
+
+# An aggregate "view": the flattened structure of an aggregate-typed signal.
+@dataclass
+class AggVec:
+    elements: list[object] = field(default_factory=list)  # ir.Expr | AggVec | AggBundle
+
+
+@dataclass
+class AggBundle:
+    fields: dict[str, object] = field(default_factory=dict)
+
+
+class LowerTypes(Pass):
+    name = "LowerTypes"
+
+    def run(self, circuit: ir.Circuit, diagnostics: DiagnosticList) -> ir.Circuit:
+        modules = [self._lower_module(m, diagnostics) for m in circuit.modules]
+        return ir.Circuit(circuit.name, modules)
+
+    # ------------------------------------------------------------------ module
+
+    def _lower_module(self, module: ir.Module, diagnostics: DiagnosticList) -> ir.Module:
+        self.diagnostics = diagnostics
+        # name -> (type, view of flattened references)
+        self.views: dict[str, object] = {}
+        self.types: dict[str, ir.Type] = {}
+
+        ports: list[ir.Port] = []
+        for port in module.ports:
+            if isinstance(port.type, (ir.VectorType, ir.BundleType)):
+                expanded = self._expand(port.name, port.type)
+                for leaf_name, leaf_type in expanded:
+                    ports.append(ir.Port(leaf_name, port.direction, leaf_type, port.location))
+                self.views[port.name] = self._build_view(port.name, port.type)
+                self.types[port.name] = port.type
+            else:
+                ports.append(port)
+
+        body = ir.Block()
+        self._lower_block(module.body, body)
+        return ir.Module(module.name, ports, body)
+
+    # --------------------------------------------------------------- expansion
+
+    def _expand(self, name: str, tpe: ir.Type) -> list[tuple[str, ir.Type]]:
+        if isinstance(tpe, ir.VectorType):
+            leaves: list[tuple[str, ir.Type]] = []
+            for index in range(tpe.size):
+                leaves.extend(self._expand(f"{name}_{index}", tpe.element))
+            return leaves
+        if isinstance(tpe, ir.BundleType):
+            leaves = []
+            for bundle_field in tpe.fields:
+                leaves.extend(self._expand(f"{name}_{bundle_field.name}", bundle_field.type))
+            return leaves
+        return [(name, tpe)]
+
+    def _build_view(self, name: str, tpe: ir.Type) -> object:
+        if isinstance(tpe, ir.VectorType):
+            return AggVec([self._build_view(f"{name}_{i}", tpe.element) for i in range(tpe.size)])
+        if isinstance(tpe, ir.BundleType):
+            return AggBundle(
+                {f.name: self._build_view(f"{name}_{f.name}", f.type) for f in tpe.fields}
+            )
+        return ir.Reference(name)
+
+    # ------------------------------------------------------------- statements
+
+    def _lower_block(self, block: ir.Block, out: ir.Block) -> None:
+        for stmt in block.stmts:
+            self._lower_stmt(stmt, out)
+
+    def _lower_stmt(self, stmt: ir.Stmt, out: ir.Block) -> None:
+        if isinstance(stmt, ir.DefWire):
+            if isinstance(stmt.type, (ir.VectorType, ir.BundleType)):
+                self.views[stmt.name] = self._build_view(stmt.name, stmt.type)
+                self.types[stmt.name] = stmt.type
+                for leaf_name, leaf_type in self._expand(stmt.name, stmt.type):
+                    out.append(ir.DefWire(leaf_name, leaf_type, stmt.location, stmt.has_default))
+            else:
+                out.append(stmt)
+            return
+        if isinstance(stmt, ir.DefRegister):
+            if isinstance(stmt.type, (ir.VectorType, ir.BundleType)):
+                self.views[stmt.name] = self._build_view(stmt.name, stmt.type)
+                self.types[stmt.name] = stmt.type
+                init_view = self._lower_expr(stmt.init) if stmt.init is not None else None
+                clock = self._lower_ground(stmt.clock, stmt.location)
+                reset = (
+                    self._lower_ground(stmt.reset, stmt.location)
+                    if stmt.reset is not None
+                    else None
+                )
+                self._lower_aggregate_register(stmt, init_view, clock, reset, out)
+            else:
+                clock = self._lower_ground(stmt.clock, stmt.location)
+                reset = (
+                    self._lower_ground(stmt.reset, stmt.location)
+                    if stmt.reset is not None
+                    else None
+                )
+                init = (
+                    self._lower_ground(stmt.init, stmt.location)
+                    if stmt.init is not None
+                    else None
+                )
+                out.append(
+                    ir.DefRegister(stmt.name, stmt.type, clock, reset, init, stmt.location)
+                )
+            return
+        if isinstance(stmt, ir.DefNode):
+            out.append(ir.DefNode(stmt.name, self._lower_ground(stmt.value, stmt.location), stmt.location))
+            return
+        if isinstance(stmt, ir.Connect):
+            self._lower_connect(stmt, out)
+            return
+        if isinstance(stmt, ir.Invalidate):
+            self._lower_invalidate(stmt, out)
+            return
+        if isinstance(stmt, ir.Conditionally):
+            conseq = ir.Block()
+            alt = ir.Block()
+            self._lower_block(stmt.conseq, conseq)
+            self._lower_block(stmt.alt, alt)
+            predicate = self._lower_ground(stmt.predicate, stmt.location)
+            out.append(ir.Conditionally(predicate, conseq, alt, stmt.location))
+            return
+        if isinstance(stmt, ir.Block):
+            self._lower_block(stmt, out)
+            return
+        out.append(stmt)
+
+    def _lower_aggregate_register(self, stmt, init_view, clock, reset, out: ir.Block) -> None:
+        def recurse(name: str, tpe: ir.Type, init: object | None) -> None:
+            if isinstance(tpe, ir.VectorType):
+                for index in range(tpe.size):
+                    sub_init = None
+                    if isinstance(init, AggVec):
+                        sub_init = init.elements[index]
+                    recurse(f"{name}_{index}", tpe.element, sub_init)
+                return
+            if isinstance(tpe, ir.BundleType):
+                for bundle_field in tpe.fields:
+                    sub_init = None
+                    if isinstance(init, AggBundle):
+                        sub_init = init.fields.get(bundle_field.name)
+                    recurse(f"{name}_{bundle_field.name}", bundle_field.type, sub_init)
+                return
+            leaf_init = init if isinstance(init, ir.Expr) else None
+            out.append(
+                ir.DefRegister(name, tpe, clock, reset if leaf_init is not None else None,
+                               leaf_init, stmt.location)
+            )
+
+        recurse(stmt.name, stmt.type, init_view)
+
+    # ------------------------------------------------------------- connections
+
+    def _lower_connect(self, stmt: ir.Connect, out: ir.Block) -> None:
+        alternatives = self._expand_write_target(stmt.target, stmt.location)
+        value = self._lower_expr(stmt.value)
+        for condition, target_view in alternatives:
+            connects = self._leaf_connects(target_view, value, stmt.location)
+            if condition is None:
+                for connect in connects:
+                    out.append(connect)
+            else:
+                out.append(ir.Conditionally(condition, ir.Block(connects), ir.Block(), stmt.location))
+
+    def _lower_invalidate(self, stmt: ir.Invalidate, out: ir.Block) -> None:
+        alternatives = self._expand_write_target(stmt.target, stmt.location)
+        for condition, target_view in alternatives:
+            invalidates = [
+                ir.Invalidate(leaf, stmt.location) for leaf in self._view_leaves(target_view)
+            ]
+            if condition is None:
+                for stmt_out in invalidates:
+                    out.append(stmt_out)
+            else:
+                out.append(
+                    ir.Conditionally(condition, ir.Block(invalidates), ir.Block(), stmt.location)
+                )
+
+    def _leaf_connects(
+        self, target_view: object, value_view: object, location: SourceLocation | None
+    ) -> list[ir.Stmt]:
+        if isinstance(target_view, ir.Expr):
+            if not isinstance(value_view, ir.Expr):
+                value_view = self._aggregate_to_ground(value_view, location)
+            return [ir.Connect(target_view, value_view, location)]
+        if isinstance(target_view, AggVec):
+            if isinstance(value_view, AggVec) and len(value_view.elements) == len(target_view.elements):
+                connects: list[ir.Stmt] = []
+                for t_elem, v_elem in zip(target_view.elements, value_view.elements):
+                    connects.extend(self._leaf_connects(t_elem, v_elem, location))
+                return connects
+            self.diagnostics.error(
+                "cannot connect a non-Vec value to a Vec signal", location, code="B5"
+            )
+            return []
+        if isinstance(target_view, AggBundle):
+            if isinstance(value_view, AggBundle):
+                connects = []
+                for name, t_member in target_view.fields.items():
+                    if name not in value_view.fields:
+                        self.diagnostics.error(
+                            f"Connection between sink (Bundle) and source (Bundle) failed: "
+                            f"source Record missing field ({name}).",
+                            location,
+                            code="B4",
+                        )
+                        continue
+                    connects.extend(
+                        self._leaf_connects(t_member, value_view.fields[name], location)
+                    )
+                return connects
+            self.diagnostics.error(
+                "cannot connect a non-Bundle value to a Bundle signal", location, code="B4"
+            )
+            return []
+        return []
+
+    def _view_leaves(self, view: object) -> list[ir.Expr]:
+        if isinstance(view, ir.Expr):
+            return [view]
+        if isinstance(view, AggVec):
+            leaves: list[ir.Expr] = []
+            for element in view.elements:
+                leaves.extend(self._view_leaves(element))
+            return leaves
+        if isinstance(view, AggBundle):
+            leaves = []
+            for member in view.fields.values():
+                leaves.extend(self._view_leaves(member))
+            return leaves
+        return []
+
+    def _expand_write_target(
+        self, expr: ir.Expr, location: SourceLocation | None
+    ) -> list[tuple[ir.Expr | None, object]]:
+        """Return (condition, view) alternatives for a connect target."""
+        if isinstance(expr, ir.Reference):
+            view = self.views.get(expr.name, expr)
+            return [(None, view)]
+        if isinstance(expr, ir.SubField):
+            alternatives = self._expand_write_target(expr.target, location)
+            results: list[tuple[ir.Expr | None, object]] = []
+            for condition, view in alternatives:
+                if isinstance(view, AggBundle) and expr.name in view.fields:
+                    results.append((condition, view.fields[expr.name]))
+                elif isinstance(view, ir.Expr):
+                    results.append((condition, ir.SubField(view, expr.name)))
+                else:
+                    self.diagnostics.error(
+                        f"field {expr.name!r} does not exist on the connection target",
+                        location,
+                        code="B4",
+                    )
+            return results
+        if isinstance(expr, ir.SubIndex):
+            alternatives = self._expand_write_target(expr.target, location)
+            results = []
+            for condition, view in alternatives:
+                if isinstance(view, AggVec):
+                    if expr.index < 0 or expr.index >= len(view.elements):
+                        self.diagnostics.error(
+                            f"{expr.index} is out of bounds (min 0, max {len(view.elements) - 1})",
+                            location,
+                            code="B7",
+                        )
+                        continue
+                    results.append((condition, view.elements[expr.index]))
+                elif isinstance(view, ir.Expr):
+                    results.append((condition, ir.SubIndex(view, expr.index)))
+            return results
+        if isinstance(expr, ir.SubAccess):
+            index = self._lower_ground(expr.index, location)
+            alternatives = self._expand_write_target(expr.target, location)
+            results = []
+            for condition, view in alternatives:
+                if not isinstance(view, AggVec):
+                    self.diagnostics.error(
+                        "dynamic indexing on a non-Vec connection target", location, code="B5"
+                    )
+                    continue
+                for element_index, element in enumerate(view.elements):
+                    equality = ir.DoPrim("eq", (index, ir.UIntLiteral(element_index)))
+                    combined = (
+                        equality if condition is None else ir.DoPrim("and", (condition, equality))
+                    )
+                    results.append((combined, element))
+            return results
+        # Ground expression target (should not normally happen).
+        return [(None, self._lower_ground(expr, location))]
+
+    # ------------------------------------------------------------- expressions
+
+    def _lower_ground(self, expr: ir.Expr, location: SourceLocation | None) -> ir.Expr:
+        lowered = self._lower_expr(expr)
+        if isinstance(lowered, ir.Expr):
+            return lowered
+        return self._aggregate_to_ground(lowered, location)
+
+    def _aggregate_to_ground(self, view: object, location: SourceLocation | None) -> ir.Expr:
+        """Convert an aggregate view used in ground context by concatenation."""
+        leaves = self._view_leaves(view)
+        if not leaves:
+            self.diagnostics.error(
+                "aggregate value used where a ground value is required", location, code="B5"
+            )
+            return ir.UIntLiteral(0, 1)
+        result = leaves[0]
+        for leaf in leaves[1:]:
+            result = ir.DoPrim("cat", (leaf, result))
+        return result
+
+    def _lower_expr(self, expr: ir.Expr) -> object:
+        if isinstance(expr, ir.Reference):
+            return self.views.get(expr.name, expr)
+        if isinstance(expr, ir.SubField):
+            target = self._lower_expr(expr.target)
+            if isinstance(target, AggBundle):
+                return target.fields.get(expr.name, ir.UIntLiteral(0, 1))
+            if isinstance(target, ir.Expr):
+                return ir.SubField(target, expr.name)
+            return ir.UIntLiteral(0, 1)
+        if isinstance(expr, ir.SubIndex):
+            target = self._lower_expr(expr.target)
+            if isinstance(target, AggVec):
+                if 0 <= expr.index < len(target.elements):
+                    return target.elements[expr.index]
+                self.diagnostics.error(
+                    f"{expr.index} is out of bounds (min 0, max {len(target.elements) - 1})",
+                    None,
+                    code="B7",
+                )
+                return ir.UIntLiteral(0, 1)
+            if isinstance(target, ir.Expr):
+                return ir.SubIndex(target, expr.index)
+            return ir.UIntLiteral(0, 1)
+        if isinstance(expr, ir.SubAccess):
+            target = self._lower_expr(expr.target)
+            index = self._lower_ground(expr.index, None)
+            if isinstance(target, AggVec):
+                elements = target.elements
+                if not elements:
+                    return ir.UIntLiteral(0, 1)
+                if any(not isinstance(e, ir.Expr) for e in elements):
+                    self.diagnostics.error(
+                        "dynamic indexing into a Vec of aggregates is not supported",
+                        None,
+                        code="B5",
+                    )
+                    return ir.UIntLiteral(0, 1)
+                result = elements[-1]
+                for element_index in range(len(elements) - 2, -1, -1):
+                    condition = ir.DoPrim("eq", (index, ir.UIntLiteral(element_index)))
+                    result = ir.Mux(condition, elements[element_index], result)
+                return result
+            if isinstance(target, ir.Expr):
+                return ir.SubAccess(target, index)
+            return ir.UIntLiteral(0, 1)
+        if isinstance(expr, ir.DoPrim):
+            args = tuple(self._lower_ground(a, None) for a in expr.args)
+            return ir.DoPrim(expr.op, args, expr.consts)
+        if isinstance(expr, ir.Mux):
+            return ir.Mux(
+                self._lower_ground(expr.condition, None),
+                self._lower_ground(expr.true_value, None),
+                self._lower_ground(expr.false_value, None),
+            )
+        return expr

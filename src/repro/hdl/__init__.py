@@ -1,0 +1,20 @@
+"""Shared HDL value substrate: fixed-width two-state bit vectors and literals.
+
+Every layer of the toolchain (Chisel elaboration, FIRRTL constant folding,
+Verilog simulation, testbench comparison) manipulates hardware values through
+the :class:`~repro.hdl.bits.Bits` type defined here, so width and signedness
+semantics are consistent end to end.
+"""
+
+from repro.hdl.bits import Bits, mask, min_width_for, to_signed, to_unsigned
+from repro.hdl.literals import LiteralError, parse_literal
+
+__all__ = [
+    "Bits",
+    "mask",
+    "min_width_for",
+    "to_signed",
+    "to_unsigned",
+    "parse_literal",
+    "LiteralError",
+]

@@ -1,0 +1,98 @@
+"""Parsing of Chisel- and Verilog-style literal strings into :class:`Bits`.
+
+Chisel string literals use a leading base character (``"b001".U``,
+``"hff".U``, ``"o17".U``, ``"d42".U``); Verilog literals use the
+``<width>'<base><digits>`` form (``8'hff``).  Both are normalised here so the
+elaborator, the Verilog parser and the testbench stimuli share one code path.
+"""
+
+from __future__ import annotations
+
+from repro.hdl.bits import Bits, min_width_for
+
+
+class LiteralError(ValueError):
+    """Raised when a literal string cannot be parsed."""
+
+
+_BASES = {"b": 2, "o": 8, "d": 10, "h": 16, "x": 16}
+
+
+def _clean(digits: str) -> str:
+    return digits.replace("_", "").strip()
+
+
+def parse_literal(text: str, width: int | None = None, signed: bool = False) -> Bits:
+    """Parse a literal string into a :class:`Bits` value.
+
+    Accepts Chisel-style strings (``b001``, ``hff``, ``d42``, plain ``42``),
+    and Verilog sized literals (``8'hff``, ``4'b1010``).  ``width`` overrides
+    the inferred width when given.
+    """
+    text = text.strip()
+    if not text:
+        raise LiteralError("empty literal")
+
+    if "'" in text:
+        return _parse_verilog_literal(text, signed=signed)
+
+    base = 10
+    digits = text
+    if text[0].lower() in _BASES and not text.isdigit():
+        base = _BASES[text[0].lower()]
+        digits = text[1:]
+    digits = _clean(digits)
+    if not digits:
+        raise LiteralError(f"literal {text!r} has no digits")
+    try:
+        value = int(digits, base)
+    except ValueError as exc:
+        raise LiteralError(f"cannot parse literal {text!r}: {exc}") from None
+
+    # Binary/octal/hex string literals keep the width implied by their digit
+    # count (so "b0010" is 4 bits wide); decimal literals use the minimal width.
+    if base == 10:
+        inferred = min_width_for(value, signed=signed)
+    else:
+        bits_per_digit = {2: 1, 8: 3, 16: 4}[base]
+        inferred = max(len(digits) * bits_per_digit, min_width_for(value, signed=signed))
+    if width is None:
+        width = inferred
+    elif width < inferred:
+        raise LiteralError(
+            f"literal {text!r} needs {inferred} bits but width {width} was requested"
+        )
+    return Bits(value, width, signed)
+
+
+def _parse_verilog_literal(text: str, signed: bool = False) -> Bits:
+    width_part, _, rest = text.partition("'")
+    rest = rest.strip()
+    if not rest:
+        raise LiteralError(f"malformed Verilog literal {text!r}")
+    if rest[0].lower() == "s":
+        signed = True
+        rest = rest[1:]
+    if not rest:
+        raise LiteralError(f"malformed Verilog literal {text!r}")
+    base_char = rest[0].lower()
+    if base_char in _BASES:
+        base = _BASES[base_char]
+        digits = _clean(rest[1:])
+    else:
+        base = 10
+        digits = _clean(rest)
+    try:
+        value = int(digits, base)
+    except ValueError as exc:
+        raise LiteralError(f"cannot parse Verilog literal {text!r}: {exc}") from None
+
+    width_part = width_part.strip()
+    if width_part:
+        try:
+            width = int(width_part)
+        except ValueError as exc:
+            raise LiteralError(f"bad width in Verilog literal {text!r}: {exc}") from None
+    else:
+        width = min_width_for(value, signed=signed)
+    return Bits(value, width, signed)

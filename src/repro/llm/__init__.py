@@ -1,0 +1,24 @@
+"""LLM layer: chat-client protocol, model behaviour profiles and the synthetic backend.
+
+The agents in :mod:`repro.core` only ever talk to a :class:`ChatClient`; in
+the paper that client is a commercial LLM API.  This reproduction ships a
+synthetic backend (:class:`~repro.llm.synthetic.SyntheticChiselLLM`) whose
+behaviour profiles are calibrated against the paper's reported numbers, plus a
+:class:`~repro.llm.client.CallableClient` adapter so a real API can be plugged
+in by passing any ``messages -> text`` callable.
+"""
+
+from repro.llm.client import CallableClient, ChatClient, ChatMessage, EchoClient
+from repro.llm.profiles import MODEL_PROFILES, ModelProfile, profile_named
+from repro.llm.synthetic import SyntheticChiselLLM
+
+__all__ = [
+    "ChatClient",
+    "ChatMessage",
+    "CallableClient",
+    "EchoClient",
+    "ModelProfile",
+    "MODEL_PROFILES",
+    "profile_named",
+    "SyntheticChiselLLM",
+]

@@ -1,0 +1,43 @@
+"""Chat-client protocol shared by every agent."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+
+@dataclass(frozen=True)
+class ChatMessage:
+    """One message in a chat exchange (role is "system", "user" or "assistant")."""
+
+    role: str
+    content: str
+
+
+class ChatClient(Protocol):
+    """Anything that can turn a message list into a completion string."""
+
+    def complete(self, messages: list[ChatMessage]) -> str:  # pragma: no cover - protocol
+        ...
+
+
+class CallableClient:
+    """Adapt a plain ``messages -> text`` callable (e.g. a real API wrapper)."""
+
+    def __init__(self, function: Callable[[list[ChatMessage]], str]):
+        self._function = function
+
+    def complete(self, messages: list[ChatMessage]) -> str:
+        return self._function(messages)
+
+
+class EchoClient:
+    """A trivial client that returns a fixed response; useful in unit tests."""
+
+    def __init__(self, response: str = ""):
+        self.response = response
+        self.calls: list[list[ChatMessage]] = []
+
+    def complete(self, messages: list[ChatMessage]) -> str:
+        self.calls.append(list(messages))
+        return self.response

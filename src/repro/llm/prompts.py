@@ -1,0 +1,145 @@
+"""Prompt templates for the ReChisel agents.
+
+The templates define the three agent roles of Fig. 2 (Generator, Reviewer,
+Inspector) plus the AutoChip-style Verilog generator used by the baseline.
+Structured markers (``benchmark-case:``, the section headers, the escape
+notice) are part of the template contract: the synthetic LLM backend keys on
+them, and they are equally readable by a real LLM.
+"""
+
+from __future__ import annotations
+
+from repro.llm.client import ChatMessage
+
+# Markers shared with the synthetic backend.
+CASE_MARKER = "benchmark-case:"
+SECTION_SPEC = "## Specification"
+SECTION_PREVIOUS_CODE = "## Previous code"
+SECTION_REVISION_PLAN = "## Revision plan"
+SECTION_FEEDBACK = "## Feedback"
+SECTION_TRACE = "## Reflection trace"
+SECTION_KNOWLEDGE = "## Common error knowledge"
+ESCAPE_NOTICE = (
+    "ESCAPE NOTICE: a non-progress loop was detected and the looping iterations "
+    "were discarded. Previous fixes for this error did not work; propose a "
+    "fundamentally different solution."
+)
+TARGET_CHISEL = "TARGET-LANGUAGE: Chisel"
+TARGET_VERILOG = "TARGET-LANGUAGE: Verilog"
+
+GENERATOR_SYSTEM = (
+    "You are an expert hardware engineer. You write complete, compilable Chisel 3 "
+    "modules named TopModule from natural-language specifications. Reply with a "
+    "single Scala code block and nothing else."
+)
+
+VERILOG_GENERATOR_SYSTEM = (
+    "You are an expert hardware engineer. You write complete, synthesizable "
+    "Verilog-2001 modules named TopModule from natural-language specifications. "
+    "Reply with a single Verilog code block and nothing else."
+)
+
+REVIEWER_SYSTEM = (
+    "You are a hardware verification expert. Given the compilation or simulation "
+    "feedback for a Chisel module and the history of previous attempts, produce a "
+    "revision plan. For every error give its Location, Root Cause and Solution."
+)
+
+INSPECTOR_SYSTEM = (
+    "You maintain the reflection trace of an iterative code-repair workflow and "
+    "detect non-progress loops: answer YES when two pieces of feedback describe "
+    "the same error at the same location with the same root cause, NO otherwise."
+)
+
+
+def generation_prompt(spec: str, case_id: str | None, language: str = "chisel") -> list[ChatMessage]:
+    """Initial Generator prompt (Step 1 of the workflow)."""
+    target = TARGET_VERILOG if language == "verilog" else TARGET_CHISEL
+    system = VERILOG_GENERATOR_SYSTEM if language == "verilog" else GENERATOR_SYSTEM
+    case_line = f"// {CASE_MARKER} {case_id}\n" if case_id else ""
+    user = (
+        f"{target}\n"
+        f"{SECTION_SPEC}\n"
+        f"{case_line}{spec}\n\n"
+        "Write the complete module implementation."
+    )
+    return [ChatMessage("system", system), ChatMessage("user", user)]
+
+
+def revision_prompt(
+    spec: str,
+    case_id: str | None,
+    previous_code: str,
+    revision_plan: str,
+    language: str = "chisel",
+    escaped: bool = False,
+) -> list[ChatMessage]:
+    """Generator prompt for a reflection iteration (Step 7)."""
+    target = TARGET_VERILOG if language == "verilog" else TARGET_CHISEL
+    system = VERILOG_GENERATOR_SYSTEM if language == "verilog" else GENERATOR_SYSTEM
+    fence = "verilog" if language == "verilog" else "scala"
+    case_line = f"// {CASE_MARKER} {case_id}\n" if case_id else ""
+    escape_block = f"{ESCAPE_NOTICE}\n\n" if escaped else ""
+    user = (
+        f"{target}\n"
+        f"{SECTION_SPEC}\n"
+        f"{case_line}{spec}\n\n"
+        f"{SECTION_PREVIOUS_CODE}\n"
+        f"```{fence}\n{previous_code}\n```\n\n"
+        f"{escape_block}"
+        f"{SECTION_REVISION_PLAN}\n{revision_plan}\n\n"
+        "Apply the revision plan and output the complete corrected module."
+    )
+    return [ChatMessage("system", system), ChatMessage("user", user)]
+
+
+def review_prompt(
+    spec: str,
+    case_id: str | None,
+    current_code: str,
+    feedback_text: str,
+    trace_summary: str,
+    knowledge_text: str,
+    escaped: bool = False,
+    language: str = "chisel",
+) -> list[ChatMessage]:
+    """Reviewer prompt (Step 6): analyse the trace and produce a revision plan."""
+    fence = "verilog" if language == "verilog" else "scala"
+    case_line = f"// {CASE_MARKER} {case_id}\n" if case_id else ""
+    escape_block = f"{ESCAPE_NOTICE}\n\n" if escaped else ""
+    user = (
+        f"{SECTION_SPEC}\n{case_line}{spec}\n\n"
+        f"{SECTION_PREVIOUS_CODE}\n```{fence}\n{current_code}\n```\n\n"
+        f"{SECTION_FEEDBACK}\n{feedback_text}\n\n"
+        f"{SECTION_TRACE}\n{trace_summary}\n\n"
+        f"{escape_block}"
+        f"{SECTION_KNOWLEDGE}\n{knowledge_text}\n\n"
+        "Produce the revision plan."
+    )
+    return [ChatMessage("system", REVIEWER_SYSTEM), ChatMessage("user", user)]
+
+
+def loop_check_prompt(previous_signature: str, current_signature: str) -> list[ChatMessage]:
+    """Inspector prompt asking whether two errors share the same root cause."""
+    user = (
+        "Previous error signature:\n"
+        f"{previous_signature}\n\n"
+        "Current error signature:\n"
+        f"{current_signature}\n\n"
+        "Do these describe the same error with the same root cause? Answer YES or NO."
+    )
+    return [ChatMessage("system", INSPECTOR_SYSTEM), ChatMessage("user", user)]
+
+
+def extract_code_block(text: str) -> str:
+    """Pull the first fenced code block out of an LLM response (or return raw text)."""
+    if "```" not in text:
+        return text.strip()
+    parts = text.split("```")
+    if len(parts) < 3:
+        return text.strip()
+    block = parts[1]
+    first_newline = block.find("\n")
+    if first_newline >= 0 and block[:first_newline].strip().isalpha():
+        block = block[first_newline + 1:]
+    return block.strip()

@@ -1,0 +1,121 @@
+"""Fault injection for Verilog attempts (AutoChip baseline and Table I Verilog column)."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class VerilogFault:
+    """A mechanical edit to golden Verilog producing a syntax or functional error."""
+
+    fault_id: str
+    kind: str  # "syntax" or "functional"
+    description: str
+    applies: Callable[[str], bool]
+    apply: Callable[[str], str]
+
+
+_ASSIGN_RE = re.compile(r"assign (\w+) = (.+);")
+
+_OPERATOR_SWAPS = [(" + ", " - "), (" & ", " | "), (" ^ ", " & "), (" < ", " > "), (" == ", " != ")]
+
+
+def _swap_operator_applies(source: str) -> bool:
+    return any(old in source for old, _ in _OPERATOR_SWAPS) or _ASSIGN_RE.search(source) is not None
+
+
+def _swap_operator_apply(source: str) -> str:
+    for old, new in _OPERATOR_SWAPS:
+        if old in source:
+            return source.replace(old, new, 1)
+    match = _ASSIGN_RE.search(source)
+    assert match is not None
+    replacement = f"assign {match.group(1)} = ~({match.group(2)});"
+    return source[: match.start()] + replacement + source[match.end():]
+
+
+def _invert_condition_applies(source: str) -> bool:
+    return " ? " in source
+
+
+def _invert_condition_apply(source: str) -> str:
+    index = source.find(" ? ")
+    # Swap the branches of the first ternary by negating its condition.
+    return source[:index] + " == 0 ? " + source[index + 3:]
+
+
+def _missing_semicolon_applies(source: str) -> bool:
+    return ";" in source.split("endmodule")[0] and "assign" in source
+
+
+def _missing_semicolon_apply(source: str) -> str:
+    index = source.find("assign")
+    end = source.find(";", index)
+    return source[:end] + source[end + 1:]
+
+
+def _missing_endmodule_applies(source: str) -> bool:
+    return "endmodule" in source
+
+
+def _missing_endmodule_apply(source: str) -> str:
+    return source.replace("endmodule", "", 1)
+
+
+def _keyword_typo_applies(source: str) -> bool:
+    return "assign" in source
+
+
+def _keyword_typo_apply(source: str) -> str:
+    return source.replace("assign", "asign", 1)
+
+
+VERILOG_FAULTS: list[VerilogFault] = [
+    VerilogFault(
+        "vfunc_operator_swap",
+        "functional",
+        "a binary operator (or an output polarity) is wrong",
+        _swap_operator_applies,
+        _swap_operator_apply,
+    ),
+    VerilogFault(
+        "vfunc_condition_inverted",
+        "functional",
+        "a mux/ternary condition is inverted",
+        _invert_condition_applies,
+        _invert_condition_apply,
+    ),
+    VerilogFault(
+        "vsyntax_missing_semicolon",
+        "syntax",
+        "a statement is missing its terminating semicolon",
+        _missing_semicolon_applies,
+        _missing_semicolon_apply,
+    ),
+    VerilogFault(
+        "vsyntax_missing_endmodule",
+        "syntax",
+        "the endmodule keyword is missing",
+        _missing_endmodule_applies,
+        _missing_endmodule_apply,
+    ),
+    VerilogFault(
+        "vsyntax_keyword_typo",
+        "syntax",
+        "the assign keyword is misspelled",
+        _keyword_typo_applies,
+        _keyword_typo_apply,
+    ),
+]
+
+VERILOG_FAULTS_BY_ID = {fault.fault_id: fault for fault in VERILOG_FAULTS}
+
+
+def applicable_verilog_faults(source: str, kind: str | None = None) -> list[VerilogFault]:
+    faults = [f for f in VERILOG_FAULTS if f.applies(source)]
+    if kind is not None:
+        faults = [f for f in faults if f.kind == kind]
+    return faults

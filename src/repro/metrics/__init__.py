@@ -1,0 +1,12 @@
+"""Evaluation metrics: Pass@k estimation and error statistics."""
+
+from repro.metrics.errors import ErrorBreakdown, error_breakdown, per_iteration_error_mix
+from repro.metrics.passk import aggregate_pass_at_k, pass_at_k
+
+__all__ = [
+    "pass_at_k",
+    "aggregate_pass_at_k",
+    "ErrorBreakdown",
+    "error_breakdown",
+    "per_iteration_error_mix",
+]

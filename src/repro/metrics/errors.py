@@ -1,0 +1,45 @@
+"""Error-type statistics: the Fig. 1 breakdown and the Fig. 7 per-iteration mix."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ErrorBreakdown:
+    """Percentage of attempts per outcome class (sums to ~100)."""
+
+    syntax: float
+    functional: float
+    success: float
+
+
+def error_breakdown(outcomes: list[str]) -> ErrorBreakdown:
+    """Classify a list of attempt outcomes ("syntax"/"functional"/"success")."""
+    if not outcomes:
+        return ErrorBreakdown(0.0, 0.0, 0.0)
+    total = len(outcomes)
+    syntax = 100.0 * sum(1 for o in outcomes if o == "syntax") / total
+    functional = 100.0 * sum(1 for o in outcomes if o == "functional") / total
+    success = 100.0 * sum(1 for o in outcomes if o == "success") / total
+    return ErrorBreakdown(syntax, functional, success)
+
+
+def per_iteration_error_mix(
+    outcome_lists: list[list[str]], max_iterations: int
+) -> list[ErrorBreakdown]:
+    """For each iteration 0..max, the outcome mix across runs (Fig. 7).
+
+    ``outcome_lists[r][i]`` is run ``r``'s outcome after ``i`` reflection
+    iterations; runs that finished early hold their final state.
+    """
+    mixes: list[ErrorBreakdown] = []
+    for iteration in range(max_iterations + 1):
+        column: list[str] = []
+        for outcomes in outcome_lists:
+            if not outcomes:
+                continue
+            index = min(iteration, len(outcomes) - 1)
+            column.append(outcomes[index])
+        mixes.append(error_breakdown(column))
+    return mixes

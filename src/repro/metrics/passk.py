@@ -1,0 +1,32 @@
+"""The unbiased Pass@k estimator of Chen et al. (2021), as used by the paper."""
+
+from __future__ import annotations
+
+from math import comb
+
+
+def pass_at_k(n: int, c: int, k: int) -> float:
+    """Probability that at least one of ``k`` samples passes.
+
+    ``n`` is the number of samples drawn for the case, ``c`` how many of them
+    passed.  Uses the unbiased estimator ``1 - C(n-c, k) / C(n, k)``.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0 <= c <= n:
+        raise ValueError("c must be between 0 and n")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if k > n:
+        k = n
+    if n - c < k:
+        return 1.0
+    return 1.0 - comb(n - c, k) / comb(n, k)
+
+
+def aggregate_pass_at_k(per_case_counts: list[tuple[int, int]], k: int) -> float:
+    """Average Pass@k over cases given ``(n, c)`` pairs; returns a percentage."""
+    if not per_case_counts:
+        return 0.0
+    total = sum(pass_at_k(n, c, k) for n, c in per_case_counts)
+    return 100.0 * total / len(per_case_counts)

@@ -1,0 +1,27 @@
+"""Benchmark problem suites.
+
+The paper evaluates on 216 module-level cases filtered from VerilogEval's
+Spec-to-RTL, AutoChip's HDLBits and RTLLM.  Those datasets cannot be
+redistributed here, so this package provides three synthetic suites with the
+same shape — module-level specifications with an I/O contract, a golden Chisel
+solution, a golden Verilog reference (compiled from the golden Chisel through
+this repo's own toolchain) and a stimulus generator — organised into
+parameterised families (combinational, sequential, FSM and arithmetic
+designs) that expand to exactly 216 valid cases.
+
+Each problem also carries *fault* definitions used by the synthetic LLM
+backend: functional faults are small semantic-preserving-to-compile text
+substitutions specific to the problem, while syntax faults are generic
+Table II injections provided by :mod:`repro.problems.mutations`.
+"""
+
+from repro.problems.base import IoPort, Problem, TextFault
+from repro.problems.registry import ProblemRegistry, build_default_registry
+
+__all__ = [
+    "IoPort",
+    "Problem",
+    "TextFault",
+    "ProblemRegistry",
+    "build_default_registry",
+]

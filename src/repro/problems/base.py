@@ -1,0 +1,99 @@
+"""Core data types for benchmark problems."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.sim.testbench import Testbench
+
+SUITE_VERILOGEVAL = "verilogeval_s2r"
+SUITE_HDLBITS = "hdlbits"
+SUITE_RTLLM = "rtllm"
+
+SUITES = (SUITE_VERILOGEVAL, SUITE_HDLBITS, SUITE_RTLLM)
+
+
+@dataclass(frozen=True)
+class IoPort:
+    """One port in the problem's I/O contract.
+
+    ``name`` is the logical field name used in the specification text
+    (``a``, ``out``); the flattened Verilog-level port is ``io_<name>``
+    (``verilog_name``) because the Chisel IO bundle is flattened by the
+    toolchain.  Clock and reset are implicit and not listed here.
+    """
+
+    name: str
+    width: int = 1
+
+    @property
+    def verilog_name(self) -> str:
+        return f"io_{self.name}"
+
+
+@dataclass(frozen=True)
+class TextFault:
+    """A problem-specific functional fault: a literal text substitution.
+
+    Applying the fault replaces the first occurrence of ``old`` with ``new``
+    in the golden Chisel source; the result still compiles but fails some
+    functional points.  ``fault_id`` is stable so the synthetic LLM can track
+    which faults remain in a revision.
+    """
+
+    fault_id: str
+    description: str
+    old: str
+    new: str
+
+    def apply(self, source: str) -> str:
+        if self.old not in source:
+            raise ValueError(
+                f"fault {self.fault_id!r} does not apply: pattern {self.old!r} not found"
+            )
+        return source.replace(self.old, self.new, 1)
+
+    def applies_to(self, source: str) -> bool:
+        return self.old in source
+
+
+@dataclass
+class Problem:
+    """One module-level benchmark case."""
+
+    problem_id: str
+    suite: str
+    name: str
+    description: str
+    inputs: list[IoPort]
+    outputs: list[IoPort]
+    golden_chisel: str
+    testbench_builder: Callable[[random.Random], Testbench]
+    sequential: bool = False
+    functional_faults: list[TextFault] = field(default_factory=list)
+    tags: list[str] = field(default_factory=list)
+
+    def build_testbench(self, seed: int = 0) -> Testbench:
+        """Build the stimulus program for this problem (deterministic per seed)."""
+        return self.testbench_builder(random.Random(seed))
+
+    def spec_text(self) -> str:
+        """The specification handed to the Generator: description + I/O table."""
+        lines = [self.description.strip(), "", "Module name: TopModule", "Ports:"]
+        for port in self.inputs:
+            width = f"[{port.width - 1}:0] " if port.width > 1 else ""
+            lines.append(f"  - input  {width}{port.name}")
+        for port in self.outputs:
+            width = f"[{port.width - 1}:0] " if port.width > 1 else ""
+            lines.append(f"  - output {width}{port.name}")
+        if self.sequential:
+            lines.append(
+                "The design is synchronous to the positive edge of `clock` and uses a "
+                "synchronous active-high `reset`."
+            )
+        return "\n".join(lines)
+
+    def port_names(self) -> list[str]:
+        return [p.name for p in self.inputs] + [p.name for p in self.outputs]

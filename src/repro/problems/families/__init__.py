@@ -1,0 +1,12 @@
+"""Parameterised benchmark problem families.
+
+Each family is a function returning a fully-populated
+:class:`~repro.problems.base.Problem`: specification text, I/O contract,
+golden Chisel solution, stimulus generator and problem-specific functional
+faults.  The registry (:mod:`repro.problems.registry`) instantiates families
+over widths/parameters to build the 216-case benchmark.
+"""
+
+from repro.problems.families import arithmetic, combinational, fsm, sequential
+
+__all__ = ["combinational", "sequential", "fsm", "arithmetic"]

@@ -1,0 +1,270 @@
+"""Arithmetic benchmark problem families (ALU, multiplier, MAC, saturation)."""
+
+from __future__ import annotations
+
+import functools
+
+from repro.problems.base import IoPort, Problem, TextFault
+from repro.problems.testbenches import combinational_testbench, sequential_testbench
+
+_HEADER = "import chisel3._\nimport chisel3.util._\n\n"
+
+
+def alu(width: int, suite: str) -> Problem:
+    inputs = [IoPort("a", width), IoPort("b", width), IoPort("op", 3)]
+    outputs = [IoPort("result", width), IoPort("zero", 1)]
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val a = Input(UInt({width}.W))
+    val b = Input(UInt({width}.W))
+    val op = Input(UInt(3.W))
+    val result = Output(UInt({width}.W))
+    val zero = Output(Bool())
+  }})
+  val result = WireDefault(0.U({width}.W))
+  switch (io.op) {{
+    is (0.U) {{ result := io.a + io.b }}
+    is (1.U) {{ result := io.a - io.b }}
+    is (2.U) {{ result := io.a & io.b }}
+    is (3.U) {{ result := io.a | io.b }}
+    is (4.U) {{ result := io.a ^ io.b }}
+    is (5.U) {{ result := (io.a < io.b).asUInt }}
+    is (6.U) {{ result := (io.a << io.b(2, 0))({width - 1}, 0) }}
+    is (7.U) {{ result := io.a >> io.b(2, 0) }}
+  }}
+  io.result := result
+  io.zero := result === 0.U
+}}
+"""
+    return Problem(
+        problem_id=f"alu_w{width}",
+        suite=suite,
+        name=f"{width}-bit ALU",
+        description=(
+            f"Implement a {width}-bit ALU controlled by a 3-bit opcode `op`: "
+            "0 = add (wrapping), 1 = subtract (wrapping), 2 = bitwise AND, 3 = bitwise OR, "
+            "4 = bitwise XOR, 5 = unsigned set-less-than (1 when a < b), "
+            "6 = logical shift left of a by b[2:0], 7 = logical shift right of a by b[2:0]. "
+            "`zero` is 1 when the result equals 0."
+        ),
+        inputs=inputs,
+        outputs=outputs,
+        golden_chisel=golden,
+        testbench_builder=functools.partial(combinational_testbench, inputs),
+        sequential=False,
+        functional_faults=[
+            TextFault("func_slt_swapped", "set-less-than compares the wrong way",
+                      "(io.a < io.b).asUInt", "(io.b < io.a).asUInt"),
+            TextFault("func_sub_is_add", "subtract opcode performs addition",
+                      "is (1.U) { result := io.a - io.b }", "is (1.U) { result := io.a + io.b }"),
+        ],
+        tags=["combinational", "arithmetic"],
+    )
+
+
+def multiplier(width: int, suite: str) -> Problem:
+    inputs = [IoPort("a", width), IoPort("b", width)]
+    outputs = [IoPort("product", 2 * width)]
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val a = Input(UInt({width}.W))
+    val b = Input(UInt({width}.W))
+    val product = Output(UInt({2 * width}.W))
+  }})
+  io.product := io.a * io.b
+}}
+"""
+    return Problem(
+        problem_id=f"multiplier_w{width}",
+        suite=suite,
+        name=f"{width}x{width} multiplier",
+        description=f"Implement a combinational {width}x{width} unsigned multiplier producing a {2 * width}-bit product.",
+        inputs=inputs,
+        outputs=outputs,
+        golden_chisel=golden,
+        testbench_builder=functools.partial(combinational_testbench, inputs),
+        sequential=False,
+        functional_faults=[
+            TextFault("func_add_not_mul", "adds instead of multiplies", "io.a * io.b", "io.a +& io.b"),
+        ],
+        tags=["combinational", "arithmetic"],
+    )
+
+
+def saturating_adder(width: int, suite: str) -> Problem:
+    maximum = (1 << width) - 1
+    inputs = [IoPort("a", width), IoPort("b", width)]
+    outputs = [IoPort("sum", width)]
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val a = Input(UInt({width}.W))
+    val b = Input(UInt({width}.W))
+    val sum = Output(UInt({width}.W))
+  }})
+  val full = io.a +& io.b
+  io.sum := Mux(full > {maximum}.U, {maximum}.U, full({width - 1}, 0))
+}}
+"""
+    return Problem(
+        problem_id=f"sat_adder_w{width}",
+        suite=suite,
+        name=f"{width}-bit saturating adder",
+        description=f"Add two {width}-bit unsigned values with saturation: when the true sum exceeds {maximum}, the output clamps to {maximum} instead of wrapping.",
+        inputs=inputs,
+        outputs=outputs,
+        golden_chisel=golden,
+        testbench_builder=functools.partial(combinational_testbench, inputs),
+        sequential=False,
+        functional_faults=[
+            TextFault("func_wrapping", "wraps instead of saturating",
+                      f"Mux(full > {maximum}.U, {maximum}.U, full({width - 1}, 0))",
+                      f"full({width - 1}, 0)"),
+        ],
+        tags=["combinational", "arithmetic"],
+    )
+
+
+def mac(width: int, suite: str) -> Problem:
+    acc_width = 2 * width + 4
+    inputs = [IoPort("a", width), IoPort("b", width), IoPort("en", 1), IoPort("clear", 1)]
+    outputs = [IoPort("acc", acc_width)]
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val a = Input(UInt({width}.W))
+    val b = Input(UInt({width}.W))
+    val en = Input(Bool())
+    val clear = Input(Bool())
+    val acc = Output(UInt({acc_width}.W))
+  }})
+  val accumulator = RegInit(0.U({acc_width}.W))
+  when (io.clear) {{
+    accumulator := 0.U
+  }} .elsewhen (io.en) {{
+    accumulator := accumulator + io.a * io.b
+  }}
+  io.acc := accumulator
+}}
+"""
+    return Problem(
+        problem_id=f"mac_w{width}",
+        suite=suite,
+        name=f"{width}-bit multiply-accumulate",
+        description=(
+            f"Implement a multiply-accumulate unit: when `en` is 1 (and `clear` is 0), the product a*b is added to a "
+            f"{acc_width}-bit accumulator on the rising clock edge. When `clear` is 1 the accumulator is cleared "
+            "(clear has priority over en). Synchronous reset also clears it."
+        ),
+        inputs=inputs,
+        outputs=outputs,
+        golden_chisel=golden,
+        testbench_builder=functools.partial(
+            sequential_testbench, inputs, bias={"en": 0.8, "clear": 0.1}
+        ),
+        sequential=True,
+        functional_faults=[
+            TextFault("func_priority_swapped", "enable has priority over clear",
+                      "when (io.clear) {\n    accumulator := 0.U\n  } .elsewhen (io.en) {\n    accumulator := accumulator + io.a * io.b\n  }",
+                      "when (io.en) {\n    accumulator := accumulator + io.a * io.b\n  } .elsewhen (io.clear) {\n    accumulator := 0.U\n  }"),
+        ],
+        tags=["sequential", "arithmetic"],
+    )
+
+
+def average(width: int, suite: str) -> Problem:
+    inputs = [IoPort("a", width), IoPort("b", width)]
+    outputs = [IoPort("avg", width)]
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val a = Input(UInt({width}.W))
+    val b = Input(UInt({width}.W))
+    val avg = Output(UInt({width}.W))
+  }})
+  val total = io.a +& io.b
+  io.avg := (total >> 1)({width - 1}, 0)
+}}
+"""
+    return Problem(
+        problem_id=f"average_w{width}",
+        suite=suite,
+        name=f"{width}-bit averaging unit",
+        description=f"Compute the floor of the average of two {width}-bit unsigned inputs, i.e. (a + b) / 2 without overflow.",
+        inputs=inputs,
+        outputs=outputs,
+        golden_chisel=golden,
+        testbench_builder=functools.partial(combinational_testbench, inputs),
+        sequential=False,
+        functional_faults=[
+            TextFault("func_rounds_up", "rounds up instead of down for odd sums",
+                      "val total = io.a +& io.b", "val total = (io.a +& io.b) + 1.U"),
+        ],
+        tags=["combinational", "arithmetic"],
+    )
+
+
+def clamp(width: int, lo: int, hi: int, suite: str) -> Problem:
+    inputs = [IoPort("in", width)]
+    outputs = [IoPort("out", width)]
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val in = Input(UInt({width}.W))
+    val out = Output(UInt({width}.W))
+  }})
+  val low = {lo}.U({width}.W)
+  val high = {hi}.U({width}.W)
+  io.out := Mux(io.in < low, low, Mux(io.in > high, high, io.in))
+}}
+"""
+    return Problem(
+        problem_id=f"clamp_w{width}_{lo}_{hi}",
+        suite=suite,
+        name=f"{width}-bit clamp to [{lo}, {hi}]",
+        description=f"Clamp a {width}-bit unsigned input to the inclusive range [{lo}, {hi}]: values below {lo} output {lo}, values above {hi} output {hi}, everything else passes through.",
+        inputs=inputs,
+        outputs=outputs,
+        golden_chisel=golden,
+        testbench_builder=functools.partial(combinational_testbench, inputs),
+        sequential=False,
+        functional_faults=[
+            TextFault("func_bounds_swapped", "clamping bounds swapped",
+                      "Mux(io.in < low, low, Mux(io.in > high, high, io.in))",
+                      "Mux(io.in < low, high, Mux(io.in > high, low, io.in))"),
+        ],
+        tags=["combinational", "arithmetic"],
+    )
+
+
+def dot_product(width: int, lanes: int, suite: str) -> Problem:
+    out_width = 2 * width + lanes
+    inputs = [IoPort(f"a{i}", width) for i in range(lanes)] + [
+        IoPort(f"b{i}", width) for i in range(lanes)
+    ]
+    outputs = [IoPort("dot", out_width)]
+    terms = " +& ".join(f"io.a{i} * io.b{i}" for i in range(lanes))
+    io_fields = "\n".join(
+        [f"    val a{i} = Input(UInt({width}.W))" for i in range(lanes)]
+        + [f"    val b{i} = Input(UInt({width}.W))" for i in range(lanes)]
+    )
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+{io_fields}
+    val dot = Output(UInt({out_width}.W))
+  }})
+  io.dot := {terms}
+}}
+"""
+    return Problem(
+        problem_id=f"dot_product_w{width}_l{lanes}",
+        suite=suite,
+        name=f"{lanes}-lane dot product",
+        description=f"Compute the dot product of two {lanes}-element vectors of {width}-bit unsigned values: dot = sum over i of a_i * b_i, without overflow.",
+        inputs=inputs,
+        outputs=outputs,
+        golden_chisel=golden,
+        testbench_builder=functools.partial(combinational_testbench, inputs),
+        sequential=False,
+        functional_faults=[
+            TextFault("func_missing_lane", "last lane omitted from the sum",
+                      f" +& io.a{lanes - 1} * io.b{lanes - 1}", ""),
+        ],
+        tags=["combinational", "arithmetic"],
+    )

@@ -1,0 +1,645 @@
+"""Combinational benchmark problem families (gates, muxes, encoders, ...)."""
+
+from __future__ import annotations
+
+import functools
+
+from repro.problems.base import IoPort, Problem, TextFault
+from repro.problems.testbenches import combinational_testbench
+
+
+def _comb_problem(
+    problem_id: str,
+    suite: str,
+    name: str,
+    description: str,
+    inputs: list[IoPort],
+    outputs: list[IoPort],
+    golden: str,
+    faults: list[TextFault],
+    tags: list[str] | None = None,
+) -> Problem:
+    return Problem(
+        problem_id=problem_id,
+        suite=suite,
+        name=name,
+        description=description,
+        inputs=inputs,
+        outputs=outputs,
+        golden_chisel=golden,
+        testbench_builder=functools.partial(combinational_testbench, inputs),
+        sequential=False,
+        functional_faults=faults,
+        tags=["combinational"] + (tags or []),
+    )
+
+
+_HEADER = "import chisel3._\nimport chisel3.util._\n\n"
+
+
+def passthrough(width: int, suite: str) -> Problem:
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val in = Input(UInt({width}.W))
+    val out = Output(UInt({width}.W))
+  }})
+  io.out := io.in
+}}
+"""
+    return _comb_problem(
+        f"passthrough_w{width}",
+        suite,
+        f"{width}-bit wire",
+        f"Implement a simple {width}-bit wire: the output `out` must always equal the input `in`.",
+        [IoPort("in", width)],
+        [IoPort("out", width)],
+        golden,
+        [TextFault("func_invert", "output is inverted", "io.out := io.in", "io.out := ~io.in")],
+    )
+
+
+def notgate(width: int, suite: str) -> Problem:
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val in = Input(UInt({width}.W))
+    val out = Output(UInt({width}.W))
+  }})
+  io.out := ~io.in
+}}
+"""
+    return _comb_problem(
+        f"not_gate_w{width}",
+        suite,
+        f"{width}-bit inverter",
+        f"Implement a {width}-bit bitwise inverter: each bit of `out` is the complement of the corresponding bit of `in`.",
+        [IoPort("in", width)],
+        [IoPort("out", width)],
+        golden,
+        [TextFault("func_no_invert", "inversion dropped", "~io.in", "io.in")],
+    )
+
+
+_GATE_EXPRS = {
+    "and": "io.a & io.b",
+    "or": "io.a | io.b",
+    "xor": "io.a ^ io.b",
+    "nand": "~(io.a & io.b)",
+    "nor": "~(io.a | io.b)",
+    "xnor": "~(io.a ^ io.b)",
+}
+
+_GATE_WRONG = {
+    "and": "io.a | io.b",
+    "or": "io.a & io.b",
+    "xor": "io.a & io.b",
+    "nand": "io.a & io.b",
+    "nor": "io.a | io.b",
+    "xnor": "io.a ^ io.b",
+}
+
+
+def gate(op: str, width: int, suite: str) -> Problem:
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val a = Input(UInt({width}.W))
+    val b = Input(UInt({width}.W))
+    val out = Output(UInt({width}.W))
+  }})
+  io.out := {_GATE_EXPRS[op]}
+}}
+"""
+    return _comb_problem(
+        f"gate_{op}_w{width}",
+        suite,
+        f"{width}-bit {op.upper()} gate",
+        f"Implement a {width}-bit bitwise {op.upper()} gate: `out` is the bitwise {op.upper()} of inputs `a` and `b`.",
+        [IoPort("a", width), IoPort("b", width)],
+        [IoPort("out", width)],
+        golden,
+        [TextFault("func_wrong_gate", "wrong boolean operator", _GATE_EXPRS[op], _GATE_WRONG[op])],
+    )
+
+
+def mux2(width: int, suite: str) -> Problem:
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val a = Input(UInt({width}.W))
+    val b = Input(UInt({width}.W))
+    val sel = Input(Bool())
+    val out = Output(UInt({width}.W))
+  }})
+  io.out := Mux(io.sel, io.b, io.a)
+}}
+"""
+    return _comb_problem(
+        f"mux2_w{width}",
+        suite,
+        f"{width}-bit 2-to-1 multiplexer",
+        f"Implement a {width}-bit 2-to-1 multiplexer. When `sel` is 0 the output is `a`; when `sel` is 1 the output is `b`.",
+        [IoPort("a", width), IoPort("b", width), IoPort("sel", 1)],
+        [IoPort("out", width)],
+        golden,
+        [TextFault("func_swapped_mux", "multiplexer inputs swapped", "Mux(io.sel, io.b, io.a)", "Mux(io.sel, io.a, io.b)")],
+    )
+
+
+def mux4(width: int, suite: str) -> Problem:
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val a = Input(UInt({width}.W))
+    val b = Input(UInt({width}.W))
+    val c = Input(UInt({width}.W))
+    val d = Input(UInt({width}.W))
+    val sel = Input(UInt(2.W))
+    val out = Output(UInt({width}.W))
+  }})
+  val result = WireDefault(io.a)
+  switch (io.sel) {{
+    is (0.U) {{ result := io.a }}
+    is (1.U) {{ result := io.b }}
+    is (2.U) {{ result := io.c }}
+    is (3.U) {{ result := io.d }}
+  }}
+  io.out := result
+}}
+"""
+    return _comb_problem(
+        f"mux4_w{width}",
+        suite,
+        f"{width}-bit 4-to-1 multiplexer",
+        f"Implement a {width}-bit 4-to-1 multiplexer. The 2-bit select `sel` chooses input `a`, `b`, `c` or `d` for values 0, 1, 2 and 3 respectively.",
+        [IoPort("a", width), IoPort("b", width), IoPort("c", width), IoPort("d", width), IoPort("sel", 2)],
+        [IoPort("out", width)],
+        golden,
+        [
+            TextFault("func_swapped_cases", "select values 2 and 3 swapped",
+                      "is (2.U) { result := io.c }", "is (2.U) { result := io.d }"),
+        ],
+    )
+
+
+def adder(width: int, suite: str) -> Problem:
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val a = Input(UInt({width}.W))
+    val b = Input(UInt({width}.W))
+    val cin = Input(Bool())
+    val sum = Output(UInt({width}.W))
+    val cout = Output(Bool())
+  }})
+  val total = io.a +& io.b +& io.cin.asUInt
+  io.sum := total({width - 1}, 0)
+  io.cout := total({width})
+}}
+"""
+    return _comb_problem(
+        f"adder_w{width}",
+        suite,
+        f"{width}-bit full adder",
+        f"Implement a {width}-bit adder with carry-in and carry-out. `sum` is the low {width} bits of a + b + cin and `cout` is the carry out of the most significant bit.",
+        [IoPort("a", width), IoPort("b", width), IoPort("cin", 1)],
+        [IoPort("sum", width), IoPort("cout", 1)],
+        golden,
+        [
+            TextFault("func_no_carry_in", "carry-in ignored", "+& io.cin.asUInt", "+& 0.U"),
+            TextFault("func_wrong_cout", "carry-out taken from the wrong bit",
+                      f"io.cout := total({width})", f"io.cout := total({width - 1})"),
+        ],
+    )
+
+
+def subtractor(width: int, suite: str) -> Problem:
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val a = Input(UInt({width}.W))
+    val b = Input(UInt({width}.W))
+    val diff = Output(UInt({width}.W))
+    val borrow = Output(Bool())
+  }})
+  io.diff := io.a - io.b
+  io.borrow := io.a < io.b
+}}
+"""
+    return _comb_problem(
+        f"subtractor_w{width}",
+        suite,
+        f"{width}-bit subtractor",
+        f"Implement a {width}-bit subtractor. `diff` is a - b (modulo 2^{width}) and `borrow` is 1 when a < b.",
+        [IoPort("a", width), IoPort("b", width)],
+        [IoPort("diff", width), IoPort("borrow", 1)],
+        golden,
+        [TextFault("func_swapped_operands", "operands swapped", "io.a - io.b", "io.b - io.a")],
+    )
+
+
+def comparator(width: int, suite: str) -> Problem:
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val a = Input(UInt({width}.W))
+    val b = Input(UInt({width}.W))
+    val eq = Output(Bool())
+    val lt = Output(Bool())
+    val gt = Output(Bool())
+  }})
+  io.eq := io.a === io.b
+  io.lt := io.a < io.b
+  io.gt := io.a > io.b
+}}
+"""
+    return _comb_problem(
+        f"comparator_w{width}",
+        suite,
+        f"{width}-bit comparator",
+        f"Implement a {width}-bit unsigned comparator producing three flags: `eq` (a == b), `lt` (a < b) and `gt` (a > b).",
+        [IoPort("a", width), IoPort("b", width)],
+        [IoPort("eq", 1), IoPort("lt", 1), IoPort("gt", 1)],
+        golden,
+        [TextFault("func_lt_is_le", "lt implemented as <=", "io.a < io.b", "io.a <= io.b")],
+    )
+
+
+def decoder(bits: int, suite: str) -> Problem:
+    size = 1 << bits
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val in = Input(UInt({bits}.W))
+    val en = Input(Bool())
+    val out = Output(UInt({size}.W))
+  }})
+  io.out := Mux(io.en, (1.U({size}.W) << io.in)({size - 1}, 0), 0.U)
+}}
+"""
+    return _comb_problem(
+        f"decoder_{bits}to{size}",
+        suite,
+        f"{bits}-to-{size} decoder",
+        f"Implement a {bits}-to-{size} one-hot decoder with enable. When `en` is 1, output bit `in` is set and all other bits are 0; when `en` is 0 the output is all zeros.",
+        [IoPort("in", bits), IoPort("en", 1)],
+        [IoPort("out", size)],
+        golden,
+        [TextFault("func_ignore_enable", "enable ignored", "Mux(io.en, ", "Mux(true.B, ")],
+    )
+
+
+def priority_encoder(size: int, suite: str) -> Problem:
+    out_width = max(1, (size - 1).bit_length())
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val in = Input(UInt({size}.W))
+    val out = Output(UInt({out_width}.W))
+    val valid = Output(Bool())
+  }})
+  val index = WireDefault(0.U({out_width}.W))
+  for (i <- 0 until {size}) {{
+    when (io.in(i)) {{
+      index := i.U
+    }}
+  }}
+  io.out := index
+  io.valid := io.in.orR
+}}
+"""
+    return _comb_problem(
+        f"priority_encoder_{size}",
+        suite,
+        f"{size}-input priority encoder",
+        f"Implement a {size}-input priority encoder. `out` is the index of the highest-priority (most significant) set bit of `in`; `valid` is 1 when any input bit is set. When no bit is set, `out` is 0.",
+        [IoPort("in", size)],
+        [IoPort("out", out_width), IoPort("valid", 1)],
+        golden,
+        [
+            TextFault("func_inverted_condition", "priority condition inverted",
+                      "when (io.in(i))", "when (!io.in(i))"),
+            TextFault("func_valid_inverted", "valid flag inverted", "io.in.orR", "!io.in.orR"),
+        ],
+    )
+
+
+def parity(width: int, suite: str) -> Problem:
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val in = Input(UInt({width}.W))
+    val even = Output(Bool())
+    val odd = Output(Bool())
+  }})
+  val p = io.in.xorR
+  io.odd := p
+  io.even := !p
+}}
+"""
+    return _comb_problem(
+        f"parity_w{width}",
+        suite,
+        f"{width}-bit parity generator",
+        f"Compute the parity of a {width}-bit input. `odd` is 1 when the number of set bits is odd; `even` is its complement.",
+        [IoPort("in", width)],
+        [IoPort("even", 1), IoPort("odd", 1)],
+        golden,
+        [TextFault("func_swapped_parity", "even and odd outputs swapped", "io.odd := p", "io.odd := !p")],
+    )
+
+
+def vector5(suite: str) -> Problem:
+    """The paper's Fig. 8 case study: 25 pairwise 1-bit equality comparisons."""
+    golden = _HEADER + """class TopModule extends Module {
+  val io = IO(new Bundle {
+    val a = Input(Bool())
+    val b = Input(Bool())
+    val c = Input(Bool())
+    val d = Input(Bool())
+    val e = Input(Bool())
+    val out = Output(UInt(25.W))
+  })
+  val inputs = VecInit(io.a, io.b, io.c, io.d, io.e)
+  val tempOut = Wire(Vec(25, Bool()))
+  for (bit <- tempOut) { bit := false.B }
+  var idx = 0
+  for (i <- 0 until 5) {
+    for (j <- 0 until 5) {
+      tempOut(24 - idx) := inputs(i) === inputs(j)
+      idx += 1
+    }
+  }
+  io.out := tempOut.asUInt
+}
+"""
+    return _comb_problem(
+        "vector5",
+        suite,
+        "Vector5 pairwise comparison",
+        "Given five 1-bit signals (a, b, c, d and e), compute all 25 pairwise one-bit comparisons in the 25-bit output vector. The output should be 1 if the two bits being compared are equal. out[24] corresponds to the comparison a vs a, out[23] to a vs b, continuing row by row down to out[0] for e vs e.",
+        [IoPort("a", 1), IoPort("b", 1), IoPort("c", 1), IoPort("d", 1), IoPort("e", 1)],
+        [IoPort("out", 25)],
+        golden,
+        [
+            TextFault("func_inner_loop_start", "inner loop starts at i instead of 0 (Fig. 8 iteration 3 bug)",
+                      "for (j <- 0 until 5)", "for (j <- i until 5)"),
+            TextFault("func_not_equal", "comparison uses =/= instead of ===",
+                      "inputs(i) === inputs(j)", "inputs(i) =/= inputs(j)"),
+        ],
+        tags=["case_study"],
+    )
+
+
+def bit_reverse(width: int, suite: str) -> Problem:
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val in = Input(UInt({width}.W))
+    val out = Output(UInt({width}.W))
+  }})
+  io.out := Reverse(io.in)
+}}
+"""
+    return _comb_problem(
+        f"bit_reverse_w{width}",
+        suite,
+        f"{width}-bit bit-reversal",
+        f"Reverse the bit order of a {width}-bit input: output bit i must equal input bit {width - 1} - i.",
+        [IoPort("in", width)],
+        [IoPort("out", width)],
+        golden,
+        [TextFault("func_no_reverse", "bits not reversed", "Reverse(io.in)", "io.in")],
+    )
+
+
+def popcount(width: int, suite: str) -> Problem:
+    out_width = max(1, width.bit_length())
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val in = Input(UInt({width}.W))
+    val count = Output(UInt({out_width}.W))
+  }})
+  io.count := PopCount(io.in)
+}}
+"""
+    return _comb_problem(
+        f"popcount_w{width}",
+        suite,
+        f"{width}-bit population count",
+        f"Count the number of set bits in a {width}-bit input and output the count.",
+        [IoPort("in", width)],
+        [IoPort("count", out_width)],
+        golden,
+        [TextFault("func_count_zeros", "counts zeros instead of ones", "PopCount(io.in)", "PopCount(~io.in)")],
+    )
+
+
+def shifter(width: int, suite: str) -> Problem:
+    shamt_width = max(1, (width - 1).bit_length())
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val in = Input(UInt({width}.W))
+    val shamt = Input(UInt({shamt_width}.W))
+    val left = Input(Bool())
+    val out = Output(UInt({width}.W))
+  }})
+  val shiftedLeft = (io.in << io.shamt)({width - 1}, 0)
+  val shiftedRight = io.in >> io.shamt
+  io.out := Mux(io.left, shiftedLeft, shiftedRight)
+}}
+"""
+    return _comb_problem(
+        f"shifter_w{width}",
+        suite,
+        f"{width}-bit logical shifter",
+        f"Implement a {width}-bit logical shifter. When `left` is 1 the input is shifted left by `shamt` bits (zeros shifted in, result truncated to {width} bits); otherwise it is shifted right logically by `shamt`.",
+        [IoPort("in", width), IoPort("shamt", shamt_width), IoPort("left", 1)],
+        [IoPort("out", width)],
+        golden,
+        [TextFault("func_direction_swapped", "shift directions swapped",
+                   "Mux(io.left, shiftedLeft, shiftedRight)", "Mux(io.left, shiftedRight, shiftedLeft)")],
+    )
+
+
+def sign_extend(in_width: int, out_width: int, suite: str) -> Problem:
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val in = Input(UInt({in_width}.W))
+    val out = Output(UInt({out_width}.W))
+  }})
+  val sign = io.in({in_width - 1})
+  io.out := Cat(Fill({out_width - in_width}, sign), io.in)
+}}
+"""
+    return _comb_problem(
+        f"sign_extend_{in_width}to{out_width}",
+        suite,
+        f"{in_width}-to-{out_width} sign extension",
+        f"Sign-extend a {in_width}-bit two's-complement input to {out_width} bits: the upper {out_width - in_width} bits of the output are copies of the input's most significant bit.",
+        [IoPort("in", in_width)],
+        [IoPort("out", out_width)],
+        golden,
+        [TextFault("func_zero_extend", "zero-extends instead of sign-extending",
+                   f"Fill({out_width - in_width}, sign)", f"Fill({out_width - in_width}, 0.U(1.W))")],
+    )
+
+
+def abs_diff(width: int, suite: str) -> Problem:
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val a = Input(UInt({width}.W))
+    val b = Input(UInt({width}.W))
+    val out = Output(UInt({width}.W))
+  }})
+  io.out := Mux(io.a >= io.b, io.a - io.b, io.b - io.a)
+}}
+"""
+    return _comb_problem(
+        f"abs_diff_w{width}",
+        suite,
+        f"{width}-bit absolute difference",
+        f"Compute the absolute difference |a - b| of two {width}-bit unsigned inputs.",
+        [IoPort("a", width), IoPort("b", width)],
+        [IoPort("out", width)],
+        golden,
+        [TextFault("func_always_a_minus_b", "always computes a - b",
+                   "Mux(io.a >= io.b, io.a - io.b, io.b - io.a)", "io.a - io.b")],
+    )
+
+
+def min_max(width: int, suite: str) -> Problem:
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val a = Input(UInt({width}.W))
+    val b = Input(UInt({width}.W))
+    val min = Output(UInt({width}.W))
+    val max = Output(UInt({width}.W))
+  }})
+  io.min := Mux(io.a < io.b, io.a, io.b)
+  io.max := Mux(io.a < io.b, io.b, io.a)
+}}
+"""
+    return _comb_problem(
+        f"min_max_w{width}",
+        suite,
+        f"{width}-bit min/max unit",
+        f"Output both the minimum and the maximum of two {width}-bit unsigned inputs.",
+        [IoPort("a", width), IoPort("b", width)],
+        [IoPort("min", width), IoPort("max", width)],
+        golden,
+        [TextFault("func_swapped_minmax", "min and max outputs swapped",
+                   "io.min := Mux(io.a < io.b, io.a, io.b)", "io.min := Mux(io.a < io.b, io.b, io.a)")],
+    )
+
+
+def byte_swap(suite: str) -> Problem:
+    golden = _HEADER + """class TopModule extends Module {
+  val io = IO(new Bundle {
+    val in = Input(UInt(32.W))
+    val out = Output(UInt(32.W))
+  })
+  io.out := Cat(io.in(7, 0), io.in(15, 8), io.in(23, 16), io.in(31, 24))
+}
+"""
+    return _comb_problem(
+        "byte_swap_32",
+        suite,
+        "32-bit byte swap",
+        "Reverse the byte order of a 32-bit word (endianness swap): output byte 0 is input byte 3, output byte 1 is input byte 2, and so on.",
+        [IoPort("in", 32)],
+        [IoPort("out", 32)],
+        golden,
+        [TextFault("func_half_swap", "only the halfwords are swapped",
+                   "Cat(io.in(7, 0), io.in(15, 8), io.in(23, 16), io.in(31, 24))",
+                   "Cat(io.in(15, 0), io.in(31, 16))")],
+    )
+
+
+_SEVEN_SEG = [0x3F, 0x06, 0x5B, 0x4F, 0x66, 0x6D, 0x7D, 0x07, 0x7F, 0x6F]
+
+
+def seven_segment(suite: str) -> Problem:
+    cases = "\n".join(
+        f"    is ({digit}.U) {{ io.seg := \"h{code:02x}\".U }}" for digit, code in enumerate(_SEVEN_SEG)
+    )
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val digit = Input(UInt(4.W))
+    val seg = Output(UInt(7.W))
+  }})
+  io.seg := 0.U
+  switch (io.digit) {{
+{cases}
+  }}
+}}
+"""
+    return _comb_problem(
+        "seven_segment",
+        suite,
+        "Seven-segment decoder",
+        "Decode a BCD digit (0-9) to the seven-segment pattern {g,f,e,d,c,b,a} with segment a in bit 0. For 0 the pattern is 0x3F, for 1 it is 0x06, for 2 it is 0x5B, for 3 0x4F, for 4 0x66, for 5 0x6D, for 6 0x7D, for 7 0x07, for 8 0x7F and for 9 0x6F. Inputs above 9 produce all segments off (0).",
+        [IoPort("digit", 4)],
+        [IoPort("seg", 7)],
+        golden,
+        [TextFault("func_wrong_nine", "wrong pattern for digit 9",
+                   'is (9.U) { io.seg := "h6f".U }', 'is (9.U) { io.seg := "h67".U }')],
+    )
+
+
+def majority(bits: int, suite: str) -> Problem:
+    threshold = bits // 2 + 1
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val in = Input(UInt({bits}.W))
+    val out = Output(Bool())
+  }})
+  io.out := PopCount(io.in) >= {threshold}.U
+}}
+"""
+    return _comb_problem(
+        f"majority_{bits}",
+        suite,
+        f"{bits}-input majority vote",
+        f"Output 1 when a majority (at least {threshold}) of the {bits} input bits are 1, otherwise 0.",
+        [IoPort("in", bits)],
+        [IoPort("out", 1)],
+        golden,
+        [TextFault("func_strict_majority", "uses > instead of >=",
+                   f"PopCount(io.in) >= {threshold}.U", f"PopCount(io.in) > {threshold}.U")],
+    )
+
+
+def ones_complement_checksum(suite: str) -> Problem:
+    golden = _HEADER + """class TopModule extends Module {
+  val io = IO(new Bundle {
+    val a = Input(UInt(16.W))
+    val b = Input(UInt(16.W))
+    val sum = Output(UInt(16.W))
+  })
+  val total = io.a +& io.b
+  io.sum := total(15, 0) + total(16).asUInt
+}
+"""
+    return _comb_problem(
+        "ones_complement_sum",
+        suite,
+        "16-bit one's-complement adder",
+        "Add two 16-bit words using one's-complement (end-around carry) addition: compute a + b and add the carry-out back into the least significant bit.",
+        [IoPort("a", 16), IoPort("b", 16)],
+        [IoPort("sum", 16)],
+        golden,
+        [TextFault("func_drop_carry", "end-around carry dropped",
+                   "total(15, 0) + total(16).asUInt", "total(15, 0)")],
+    )
+
+
+def gray_encoder(width: int, suite: str) -> Problem:
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val in = Input(UInt({width}.W))
+    val out = Output(UInt({width}.W))
+  }})
+  io.out := io.in ^ (io.in >> 1)
+}}
+"""
+    return _comb_problem(
+        f"gray_encoder_w{width}",
+        suite,
+        f"{width}-bit binary-to-Gray encoder",
+        f"Convert a {width}-bit binary value to Gray code: out = in XOR (in >> 1).",
+        [IoPort("in", width)],
+        [IoPort("out", width)],
+        golden,
+        [TextFault("func_shift_left", "shifts left instead of right",
+                   "io.in ^ (io.in >> 1)", f"io.in ^ (io.in << 1)({width - 1}, 0)")],
+    )

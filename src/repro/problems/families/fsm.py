@@ -1,0 +1,234 @@
+"""Finite-state-machine benchmark problem families."""
+
+from __future__ import annotations
+
+import functools
+
+from repro.problems.base import IoPort, Problem, TextFault
+from repro.problems.testbenches import sequential_testbench
+
+_HEADER = "import chisel3._\nimport chisel3.util._\n\n"
+
+
+def _fsm_problem(
+    problem_id: str,
+    suite: str,
+    name: str,
+    description: str,
+    inputs: list[IoPort],
+    outputs: list[IoPort],
+    golden: str,
+    faults: list[TextFault],
+    bias: dict[str, float] | None = None,
+) -> Problem:
+    return Problem(
+        problem_id=problem_id,
+        suite=suite,
+        name=name,
+        description=description,
+        inputs=inputs,
+        outputs=outputs,
+        golden_chisel=golden,
+        testbench_builder=functools.partial(sequential_testbench, inputs, cycles=64, bias=bias),
+        sequential=True,
+        functional_faults=faults,
+        tags=["sequential", "fsm"],
+    )
+
+
+def sequence_detector(pattern: str, suite: str, overlapping: bool = True) -> Problem:
+    """Detect a binary ``pattern`` on a serial input (overlapping occurrences).
+
+    The golden solution keeps the last ``len(pattern)`` input bits in a history
+    register and compares against the pattern, which naturally handles
+    overlapping matches.
+    """
+    length = len(pattern)
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val in = Input(Bool())
+    val detected = Output(Bool())
+  }})
+  val history = RegInit(0.U({length}.W))
+  val nextHistory = Cat(history({length - 2}, 0), io.in.asUInt)
+  history := nextHistory
+  io.detected := nextHistory === "b{pattern}".U
+}}
+"""
+    return _fsm_problem(
+        f"seq_detect_{pattern}",
+        suite,
+        f"Sequence detector for pattern {pattern}",
+        f"Detect the serial bit pattern {pattern} (most recent bit last) on the 1-bit input `in`. `detected` must be 1 during the cycle in which the final bit of the pattern is clocked in; overlapping occurrences are all detected. Synchronous reset clears the detector history.",
+        [IoPort("in", 1)],
+        [IoPort("detected", 1)],
+        golden,
+        [
+            TextFault("func_stale_history", "detection uses the previous cycle's history",
+                      f'io.detected := nextHistory === "b{pattern}".U',
+                      f'io.detected := history === "b{pattern}".U'),
+        ],
+        bias={"in": 0.5},
+    )
+
+
+def traffic_light(green_cycles: int, yellow_cycles: int, red_cycles: int, suite: str) -> Problem:
+    maximum = max(green_cycles, yellow_cycles, red_cycles)
+    counter_width = max(2, (maximum - 1).bit_length() + 1)
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val green = Output(Bool())
+    val yellow = Output(Bool())
+    val red = Output(Bool())
+  }})
+  val sGreen = 0.U(2.W)
+  val sYellow = 1.U(2.W)
+  val sRed = 2.U(2.W)
+  val state = RegInit(0.U(2.W))
+  val count = RegInit(0.U({counter_width}.W))
+  val limit = WireDefault({green_cycles - 1}.U({counter_width}.W))
+  when (state === sYellow) {{
+    limit := {yellow_cycles - 1}.U
+  }} .elsewhen (state === sRed) {{
+    limit := {red_cycles - 1}.U
+  }}
+  when (count === limit) {{
+    count := 0.U
+    when (state === sRed) {{
+      state := sGreen
+    }} .otherwise {{
+      state := state + 1.U
+    }}
+  }} .otherwise {{
+    count := count + 1.U
+  }}
+  io.green := state === sGreen
+  io.yellow := state === sYellow
+  io.red := state === sRed
+}}
+"""
+    return _fsm_problem(
+        f"traffic_light_{green_cycles}_{yellow_cycles}_{red_cycles}",
+        suite,
+        "Traffic light controller",
+        f"Implement a three-state traffic light controller that cycles green → yellow → red → green. Green lasts {green_cycles} cycles, yellow {yellow_cycles} cycles and red {red_cycles} cycles. Exactly one of the three outputs is high at any time. Synchronous reset returns to green with the timer cleared.",
+        [],
+        [IoPort("green", 1), IoPort("yellow", 1), IoPort("red", 1)],
+        golden,
+        [
+            TextFault("func_yellow_duration", "yellow phase lasts one cycle too long",
+                      f"limit := {yellow_cycles - 1}.U", f"limit := {yellow_cycles}.U"),
+        ],
+    )
+
+
+def vending_machine(price: int, suite: str) -> Problem:
+    width = max(3, (price * 2 - 1).bit_length())
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val nickel = Input(Bool())
+    val dime = Input(Bool())
+    val dispense = Output(Bool())
+  }})
+  val total = RegInit(0.U({width}.W))
+  val credit = total + Mux(io.nickel, 5.U, 0.U) + Mux(io.dime, 10.U, 0.U)
+  when (credit >= {price}.U) {{
+    total := 0.U
+  }} .otherwise {{
+    total := credit
+  }}
+  io.dispense := credit >= {price}.U
+}}
+"""
+    return _fsm_problem(
+        f"vending_machine_{price}",
+        suite,
+        "Vending machine controller",
+        f"Implement a vending machine accepting nickels (5 cents) and dimes (10 cents), at most one of each per cycle. When the accumulated credit reaches {price} cents or more, assert `dispense` for one cycle and reset the credit to zero (excess credit is not returned). Synchronous reset clears the credit.",
+        [IoPort("nickel", 1), IoPort("dime", 1)],
+        [IoPort("dispense", 1)],
+        golden,
+        [TextFault("func_strict_threshold", "dispenses only on exact amount",
+                   f"credit >= {price}.U) {{\n    total := 0.U", f"credit === {price}.U) {{\n    total := 0.U")],
+        bias={"nickel": 0.4, "dime": 0.35},
+    )
+
+
+def round_robin_arbiter(suite: str) -> Problem:
+    golden = _HEADER + """class TopModule extends Module {
+  val io = IO(new Bundle {
+    val req0 = Input(Bool())
+    val req1 = Input(Bool())
+    val grant0 = Output(Bool())
+    val grant1 = Output(Bool())
+  })
+  val lastGrant = RegInit(false.B)
+  val grant0 = WireDefault(false.B)
+  val grant1 = WireDefault(false.B)
+  when (io.req0 && io.req1) {
+    grant0 := lastGrant
+    grant1 := !lastGrant
+  } .elsewhen (io.req0) {
+    grant0 := true.B
+  } .elsewhen (io.req1) {
+    grant1 := true.B
+  }
+  when (grant0) {
+    lastGrant := false.B
+  } .elsewhen (grant1) {
+    lastGrant := true.B
+  }
+  io.grant0 := grant0
+  io.grant1 := grant1
+}
+"""
+    return _fsm_problem(
+        "rr_arbiter_2",
+        suite,
+        "Two-way round-robin arbiter",
+        "Implement a two-requester round-robin arbiter. When only one requester asserts its request, it is granted. When both request in the same cycle, the grant alternates: the requester that was not granted most recently wins. Grants are combinational in the same cycle as the requests; the round-robin pointer updates on the clock edge. Synchronous reset gives requester 0 priority first.",
+        [IoPort("req0", 1), IoPort("req1", 1)],
+        [IoPort("grant0", 1), IoPort("grant1", 1)],
+        golden,
+        [TextFault("func_fixed_priority", "requester 0 always wins ties",
+                   "grant0 := lastGrant\n    grant1 := !lastGrant",
+                   "grant0 := true.B\n    grant1 := false.B")],
+        bias={"req0": 0.6, "req1": 0.6},
+    )
+
+
+def debouncer(stable_cycles: int, suite: str) -> Problem:
+    width = max(2, (stable_cycles).bit_length())
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val noisy = Input(Bool())
+    val clean = Output(Bool())
+  }})
+  val stableValue = RegInit(false.B)
+  val candidate = RegInit(false.B)
+  val count = RegInit(0.U({width}.W))
+  when (io.noisy === candidate) {{
+    when (count === {stable_cycles - 1}.U) {{
+      stableValue := candidate
+    }} .otherwise {{
+      count := count + 1.U
+    }}
+  }} .otherwise {{
+    candidate := io.noisy
+    count := 0.U
+  }}
+  io.clean := stableValue
+}}
+"""
+    return _fsm_problem(
+        f"debouncer_{stable_cycles}",
+        suite,
+        "Input debouncer",
+        f"Debounce a noisy 1-bit input: the output only changes to a new value after the input has held that value for {stable_cycles} consecutive clock cycles. Synchronous reset clears the output to 0.",
+        [IoPort("noisy", 1)],
+        [IoPort("clean", 1)],
+        golden,
+        [TextFault("func_no_counter_reset", "counter not cleared when the input changes",
+                   "candidate := io.noisy\n    count := 0.U", "candidate := io.noisy")],
+        bias={"noisy": 0.5},
+    )

@@ -1,0 +1,406 @@
+"""Sequential benchmark problem families (registers, counters, shift registers)."""
+
+from __future__ import annotations
+
+import functools
+
+from repro.problems.base import IoPort, Problem, TextFault
+from repro.problems.testbenches import sequential_testbench
+
+
+def _seq_problem(
+    problem_id: str,
+    suite: str,
+    name: str,
+    description: str,
+    inputs: list[IoPort],
+    outputs: list[IoPort],
+    golden: str,
+    faults: list[TextFault],
+    bias: dict[str, float] | None = None,
+    tags: list[str] | None = None,
+) -> Problem:
+    return Problem(
+        problem_id=problem_id,
+        suite=suite,
+        name=name,
+        description=description,
+        inputs=inputs,
+        outputs=outputs,
+        golden_chisel=golden,
+        testbench_builder=functools.partial(sequential_testbench, inputs, bias=bias),
+        sequential=True,
+        functional_faults=faults,
+        tags=["sequential"] + (tags or []),
+    )
+
+
+_HEADER = "import chisel3._\nimport chisel3.util._\n\n"
+
+
+def dff(width: int, suite: str) -> Problem:
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val d = Input(UInt({width}.W))
+    val q = Output(UInt({width}.W))
+  }})
+  val reg = RegInit(0.U({width}.W))
+  reg := io.d
+  io.q := reg
+}}
+"""
+    return _seq_problem(
+        f"dff_w{width}",
+        suite,
+        f"{width}-bit D flip-flop",
+        f"Implement a {width}-bit D register. On every rising clock edge the output `q` captures the input `d`. A synchronous active-high reset clears `q` to 0.",
+        [IoPort("d", width)],
+        [IoPort("q", width)],
+        golden,
+        [TextFault("func_passthrough", "register bypassed (combinational passthrough)",
+                   "io.q := reg", "io.q := io.d")],
+    )
+
+
+def register_with_enable(width: int, suite: str) -> Problem:
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val d = Input(UInt({width}.W))
+    val en = Input(Bool())
+    val q = Output(UInt({width}.W))
+  }})
+  val reg = RegInit(0.U({width}.W))
+  when (io.en) {{
+    reg := io.d
+  }}
+  io.q := reg
+}}
+"""
+    return _seq_problem(
+        f"reg_enable_w{width}",
+        suite,
+        f"{width}-bit register with enable",
+        f"Implement a {width}-bit register with a write-enable. On a rising clock edge, `q` captures `d` only when `en` is 1; otherwise it holds its value. Synchronous reset clears it to 0.",
+        [IoPort("d", width), IoPort("en", 1)],
+        [IoPort("q", width)],
+        golden,
+        [TextFault("func_enable_ignored", "enable ignored, always loads",
+                   "when (io.en) {\n    reg := io.d\n  }", "reg := io.d")],
+        bias={"en": 0.7},
+    )
+
+
+def counter(width: int, suite: str) -> Problem:
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val en = Input(Bool())
+    val count = Output(UInt({width}.W))
+  }})
+  val reg = RegInit(0.U({width}.W))
+  when (io.en) {{
+    reg := reg + 1.U
+  }}
+  io.count := reg
+}}
+"""
+    return _seq_problem(
+        f"counter_w{width}",
+        suite,
+        f"{width}-bit up counter",
+        f"Implement a {width}-bit up counter with enable. When `en` is 1 the counter increments on each rising clock edge and wraps from {2**width - 1} back to 0; when `en` is 0 it holds. Synchronous reset clears it to 0.",
+        [IoPort("en", 1)],
+        [IoPort("count", width)],
+        golden,
+        [TextFault("func_increment_by_two", "increments by 2", "reg + 1.U", "reg + 2.U")],
+        bias={"en": 0.8},
+    )
+
+
+def up_down_counter(width: int, suite: str) -> Problem:
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val en = Input(Bool())
+    val up = Input(Bool())
+    val count = Output(UInt({width}.W))
+  }})
+  val reg = RegInit(0.U({width}.W))
+  when (io.en) {{
+    when (io.up) {{
+      reg := reg + 1.U
+    }} .otherwise {{
+      reg := reg - 1.U
+    }}
+  }}
+  io.count := reg
+}}
+"""
+    return _seq_problem(
+        f"updown_counter_w{width}",
+        suite,
+        f"{width}-bit up/down counter",
+        f"Implement a {width}-bit up/down counter. When `en` is 1, the counter increments when `up` is 1 and decrements when `up` is 0 (wrapping in both directions). When `en` is 0 the value holds. Synchronous reset clears it to 0.",
+        [IoPort("en", 1), IoPort("up", 1)],
+        [IoPort("count", width)],
+        golden,
+        [TextFault("func_direction_swapped", "up/down directions swapped",
+                   "reg := reg + 1.U\n    } .otherwise {\n      reg := reg - 1.U",
+                   "reg := reg - 1.U\n    } .otherwise {\n      reg := reg + 1.U")],
+        bias={"en": 0.8},
+    )
+
+
+def saturating_counter(width: int, suite: str) -> Problem:
+    maximum = (1 << width) - 1
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val en = Input(Bool())
+    val count = Output(UInt({width}.W))
+    val full = Output(Bool())
+  }})
+  val reg = RegInit(0.U({width}.W))
+  when (io.en && reg < {maximum}.U) {{
+    reg := reg + 1.U
+  }}
+  io.count := reg
+  io.full := reg === {maximum}.U
+}}
+"""
+    return _seq_problem(
+        f"sat_counter_w{width}",
+        suite,
+        f"{width}-bit saturating counter",
+        f"Implement a {width}-bit saturating counter. When `en` is 1 it increments on each clock edge but stops (saturates) at {maximum}; `full` is asserted when the counter holds {maximum}. Synchronous reset clears it to 0.",
+        [IoPort("en", 1)],
+        [IoPort("count", width), IoPort("full", 1)],
+        golden,
+        [TextFault("func_wraps", "counter wraps instead of saturating",
+                   f"io.en && reg < {maximum}.U", "io.en")],
+        bias={"en": 0.85},
+    )
+
+
+def shift_register(width: int, depth: int, suite: str) -> Problem:
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val in = Input(UInt({width}.W))
+    val en = Input(Bool())
+    val out = Output(UInt({width}.W))
+  }})
+  val stages = Reg(Vec({depth}, UInt({width}.W)))
+  when (io.en) {{
+    stages(0) := io.in
+    for (i <- 1 until {depth}) {{
+      stages(i) := stages(i - 1)
+    }}
+  }}
+  io.out := stages({depth - 1})
+}}
+"""
+    return _seq_problem(
+        f"shift_register_w{width}_d{depth}",
+        suite,
+        f"{depth}-stage, {width}-bit shift register",
+        f"Implement a {depth}-stage shift register of {width}-bit words with enable. When `en` is 1, on each rising edge the input enters stage 0 and every stage shifts to the next; the output is the last stage (a delay of {depth} cycles).",
+        [IoPort("in", width), IoPort("en", 1)],
+        [IoPort("out", width)],
+        golden,
+        [TextFault("func_short_delay", "output taken one stage too early",
+                   f"io.out := stages({depth - 1})", f"io.out := stages({depth - 2})")],
+        bias={"en": 0.9},
+    )
+
+
+def serial_to_parallel(width: int, suite: str) -> Problem:
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val bitIn = Input(Bool())
+    val shift = Input(Bool())
+    val data = Output(UInt({width}.W))
+  }})
+  val reg = RegInit(0.U({width}.W))
+  when (io.shift) {{
+    reg := Cat(reg({width - 2}, 0), io.bitIn.asUInt)
+  }}
+  io.data := reg
+}}
+"""
+    return _seq_problem(
+        f"sipo_w{width}",
+        suite,
+        f"{width}-bit serial-in parallel-out register",
+        f"Implement a {width}-bit serial-in parallel-out shift register. When `shift` is 1, on each rising edge the register shifts left by one and the new least-significant bit is `bitIn`. The full register contents appear on `data`.",
+        [IoPort("bitIn", 1), IoPort("shift", 1)],
+        [IoPort("data", width)],
+        golden,
+        [TextFault("func_shift_right", "shifts right instead of left",
+                   f"Cat(reg({width - 2}, 0), io.bitIn.asUInt)",
+                   f"Cat(io.bitIn.asUInt, reg({width - 1}, 1))")],
+        bias={"shift": 0.85},
+    )
+
+
+def edge_detector(suite: str, falling: bool = False) -> Problem:
+    kind = "falling" if falling else "rising"
+    expr = "!io.in && last" if falling else "io.in && !last"
+    wrong = "io.in && last"
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val in = Input(Bool())
+    val pulse = Output(Bool())
+  }})
+  val last = RegNext(io.in, false.B)
+  io.pulse := {expr}
+}}
+"""
+    return _seq_problem(
+        f"edge_detector_{kind}",
+        suite,
+        f"{kind.capitalize()}-edge detector",
+        f"Detect {kind} edges of a 1-bit input. `pulse` is asserted for exactly one cycle whenever `in` transitions from {'1 to 0' if falling else '0 to 1'} between consecutive clock cycles.",
+        [IoPort("in", 1)],
+        [IoPort("pulse", 1)],
+        golden,
+        [TextFault("func_level_not_edge", "detects level instead of edge", expr, wrong)],
+    )
+
+
+def toggle_ff(suite: str) -> Problem:
+    golden = _HEADER + """class TopModule extends Module {
+  val io = IO(new Bundle {
+    val t = Input(Bool())
+    val q = Output(Bool())
+  })
+  val state = RegInit(false.B)
+  when (io.t) {
+    state := !state
+  }
+  io.q := state
+}
+"""
+    return _seq_problem(
+        "toggle_ff",
+        suite,
+        "Toggle flip-flop",
+        "Implement a T flip-flop: when `t` is 1 the output toggles on the rising clock edge, otherwise it holds. Synchronous reset clears it to 0.",
+        [IoPort("t", 1)],
+        [IoPort("q", 1)],
+        golden,
+        [TextFault("func_always_toggle", "toggles every cycle regardless of t",
+                   "when (io.t) {\n    state := !state\n  }", "state := !state")],
+        bias={"t": 0.6},
+    )
+
+
+def accumulator(width: int, suite: str) -> Problem:
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val in = Input(UInt({width}.W))
+    val valid = Input(Bool())
+    val sum = Output(UInt({width + 4}.W))
+  }})
+  val acc = RegInit(0.U({width + 4}.W))
+  when (io.valid) {{
+    acc := acc + io.in
+  }}
+  io.sum := acc
+}}
+"""
+    return _seq_problem(
+        f"accumulator_w{width}",
+        suite,
+        f"{width}-bit input accumulator",
+        f"Accumulate a stream of {width}-bit values into a {width + 4}-bit running sum. When `valid` is 1 the input is added to the sum on the rising clock edge; the sum wraps modulo 2^{width + 4}. Synchronous reset clears the sum.",
+        [IoPort("in", width), IoPort("valid", 1)],
+        [IoPort("sum", width + 4)],
+        golden,
+        [TextFault("func_overwrite", "accumulator overwritten instead of added",
+                   "acc := acc + io.in", "acc := io.in")],
+        bias={"valid": 0.75},
+    )
+
+
+def delay_line(width: int, depth: int, suite: str) -> Problem:
+    stages = "\n".join(
+        f"  val stage{i} = RegInit(0.U({width}.W))" for i in range(depth)
+    )
+    connects = ["  stage0 := io.in"]
+    for i in range(1, depth):
+        connects.append(f"  stage{i} := stage{i - 1}")
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val in = Input(UInt({width}.W))
+    val out = Output(UInt({width}.W))
+  }})
+{stages}
+{chr(10).join(connects)}
+  io.out := stage{depth - 1}
+}}
+"""
+    return _seq_problem(
+        f"delay_line_w{width}_d{depth}",
+        suite,
+        f"{depth}-cycle delay line",
+        f"Delay a {width}-bit input by exactly {depth} clock cycles using a register pipeline. Synchronous reset clears every stage.",
+        [IoPort("in", width)],
+        [IoPort("out", width)],
+        golden,
+        [TextFault("func_short_pipeline", "one pipeline stage bypassed",
+                   f"io.out := stage{depth - 1}", f"io.out := stage{max(0, depth - 2)}")],
+    )
+
+
+def gray_counter(width: int, suite: str) -> Problem:
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val en = Input(Bool())
+    val gray = Output(UInt({width}.W))
+  }})
+  val binary = RegInit(0.U({width}.W))
+  when (io.en) {{
+    binary := binary + 1.U
+  }}
+  io.gray := binary ^ (binary >> 1)
+}}
+"""
+    return _seq_problem(
+        f"gray_counter_w{width}",
+        suite,
+        f"{width}-bit Gray-code counter",
+        f"Implement a {width}-bit Gray-code counter: an internal binary counter increments when `en` is 1 and the output is its Gray encoding (binary XOR binary >> 1). Synchronous reset clears the counter.",
+        [IoPort("en", 1)],
+        [IoPort("gray", width)],
+        golden,
+        [TextFault("func_binary_output", "outputs binary instead of Gray",
+                   "binary ^ (binary >> 1)", "binary")],
+        bias={"en": 0.8},
+    )
+
+
+def pulse_stretcher(cycles: int, suite: str) -> Problem:
+    width = max(1, (cycles - 1).bit_length() + 1)
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val trigger = Input(Bool())
+    val out = Output(Bool())
+  }})
+  val remaining = RegInit(0.U({width}.W))
+  when (io.trigger) {{
+    remaining := {cycles}.U
+  }} .elsewhen (remaining > 0.U) {{
+    remaining := remaining - 1.U
+  }}
+  io.out := remaining > 0.U
+}}
+"""
+    return _seq_problem(
+        f"pulse_stretcher_{cycles}",
+        suite,
+        f"{cycles}-cycle pulse stretcher",
+        f"Stretch a single-cycle trigger pulse to {cycles} cycles: when `trigger` is seen, the output stays high for the next {cycles} clock cycles (re-triggering restarts the count). Synchronous reset clears the output.",
+        [IoPort("trigger", 1)],
+        [IoPort("out", 1)],
+        golden,
+        [TextFault("func_off_by_one", "stretches one cycle too few",
+                   f"remaining := {cycles}.U", f"remaining := {cycles - 1}.U")],
+        bias={"trigger": 0.25},
+    )

@@ -1,0 +1,266 @@
+"""Generic syntax-fault injectors keyed to the paper's Table II error classes.
+
+The synthetic LLM backend uses these to turn a golden Chisel solution into a
+realistic faulty attempt: each injector performs a small, mechanical edit that
+produces one of the catalogued compiler errors when the result is compiled by
+:class:`repro.toolchain.ChiselCompiler`.  Injectors know which problems they
+apply to (``applies``), so the backend can sample only feasible faults.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.problems.base import Problem
+
+
+@dataclass(frozen=True)
+class SyntaxFault:
+    """A generic, mechanically-injectable syntax fault."""
+
+    fault_id: str
+    error_class: str  # Table II class: A1..A3, B1..B7, C1..C2, PARSE
+    description: str
+    applies: Callable[[str, Problem], bool]
+    apply: Callable[[str, Problem], str]
+
+
+def _first_multibit_input(problem: Problem):
+    for port in problem.inputs:
+        if port.width > 1:
+            return port
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Individual injectors
+# ---------------------------------------------------------------------------
+
+_VAL_DEF_RE = re.compile(r"val (\w{3,}) = (?:Reg|Wire|VecInit)")
+
+
+def _misspell_applies(source: str, problem: Problem) -> bool:
+    match = _VAL_DEF_RE.search(source)
+    if match is None:
+        return False
+    name = match.group(1)
+    return source.count(name) >= 2
+
+
+def _misspell_apply(source: str, problem: Problem) -> str:
+    match = _VAL_DEF_RE.search(source)
+    assert match is not None
+    name = match.group(1)
+    misspelled = name[:-1] if len(name) > 3 else name + "x"
+    definition_end = match.end()
+    usage = source.find(name, definition_end)
+    if usage < 0:
+        return source
+    return source[:usage] + misspelled + source[usage + len(name):]
+
+
+def _cast_applies(source: str, problem: Problem) -> bool:
+    return ".asUInt" in source or ".asSInt" in source or " === " in source
+
+
+def _cast_apply(source: str, problem: Problem) -> str:
+    if ".asUInt" in source:
+        return source.replace(".asUInt", ".asInstanceOf[UInt]", 1)
+    if ".asSInt" in source:
+        return source.replace(".asSInt", ".asInstanceOf[SInt]", 1)
+    return source.replace(" === ", " == ", 1)
+
+
+def _width_arity_applies(source: str, problem: Problem) -> bool:
+    return re.search(r"UInt\(\d+\.W\)", source) is not None
+
+
+def _width_arity_apply(source: str, problem: Problem) -> str:
+    return re.sub(r"UInt\((\d+)\.W\)", r"UInt(\1)", source, count=1)
+
+
+def _abstract_reset_applies(source: str, problem: Problem) -> bool:
+    return "new Bundle {" in source
+
+
+def _abstract_reset_apply(source: str, problem: Problem) -> str:
+    return source.replace(
+        "new Bundle {", "new Bundle {\n    val rst = Input(Reset())", 1
+    )
+
+
+def _bare_type_applies(source: str, problem: Problem) -> bool:
+    return "})" in source
+
+
+def _bare_type_apply(source: str, problem: Problem) -> str:
+    index = source.find("})")
+    insertion = "})\n  val tempSignal = UInt(8.W)\n  tempSignal := 0.U"
+    return source[:index] + insertion + source[index + 2:]
+
+
+def _uninitialized_applies(source: str, problem: Problem) -> bool:
+    return _last_output_connect(source) is not None
+
+
+_OUTPUT_CONNECT_RE = re.compile(r"^  io\.(\w+) := (.+)$", re.MULTILINE)
+
+
+def _last_output_connect(source: str):
+    matches = list(_OUTPUT_CONNECT_RE.finditer(source))
+    return matches[-1] if matches else None
+
+
+def _uninitialized_apply(source: str, problem: Problem) -> str:
+    match = _last_output_connect(source)
+    assert match is not None
+    replacement = (
+        f"  when (reset) {{\n    io.{match.group(1)} := {match.group(2)}\n  }}"
+    )
+    return source[: match.start()] + replacement + source[match.end():]
+
+
+def _bool_arith_applies(source: str, problem: Problem) -> bool:
+    return _last_output_connect(source) is not None
+
+
+def _bool_arith_apply(source: str, problem: Problem) -> str:
+    match = _last_output_connect(source)
+    assert match is not None
+    replacement = f"  io.{match.group(1)} := ({match.group(2)}) + true.B"
+    return source[: match.start()] + replacement + source[match.end():]
+
+
+def _as_clock_applies(source: str, problem: Problem) -> bool:
+    return "extends Module" in source
+
+
+def _as_clock_apply(source: str, problem: Problem) -> str:
+    index = source.rfind("}")
+    insertion = "  val derivedClock = (reset.asUInt).asClock\n"
+    return source[:index] + insertion + source[index:]
+
+
+def _out_of_bounds_applies(source: str, problem: Problem) -> bool:
+    return _first_multibit_input(problem) is not None and "})" in source
+
+
+def _out_of_bounds_apply(source: str, problem: Problem) -> str:
+    port = _first_multibit_input(problem)
+    assert port is not None
+    field = port.name[3:] if port.name.startswith("io_") else port.name
+    index = source.find("})")
+    insertion = "})\n  val topBit = io." + field + "(" + str(port.width) + ")"
+    return source[:index] + insertion + source[index + 2:]
+
+
+def _comb_loop_applies(source: str, problem: Problem) -> bool:
+    return "extends Module" in source
+
+
+def _comb_loop_apply(source: str, problem: Problem) -> str:
+    index = source.rfind("}")
+    insertion = (
+        "  val loopSignal = Wire(UInt(4.W))\n"
+        "  loopSignal := loopSignal + 1.U\n"
+    )
+    return source[:index] + insertion + source[index:]
+
+
+def _unbalanced_applies(source: str, problem: Problem) -> bool:
+    return source.rstrip().endswith("}")
+
+
+def _unbalanced_apply(source: str, problem: Problem) -> str:
+    stripped = source.rstrip()
+    return stripped[:-1] + "\n"
+
+
+SYNTAX_FAULTS: list[SyntaxFault] = [
+    SyntaxFault(
+        "A1_misspelled_identifier",
+        "A1",
+        "a defined signal name is misspelled at one use site",
+        _misspell_applies,
+        _misspell_apply,
+    ),
+    SyntaxFault(
+        "A2_scala_cast",
+        "A2",
+        "Scala asInstanceOf (or ==) used instead of the Chisel conversion/operator",
+        _cast_applies,
+        _cast_apply,
+    ),
+    SyntaxFault(
+        "A3_width_without_W",
+        "A3",
+        "UInt width given as a plain Int instead of n.W",
+        _width_arity_applies,
+        _width_arity_apply,
+    ),
+    SyntaxFault(
+        "B1_abstract_reset_port",
+        "B1",
+        "an extra port is declared with the abstract Reset() type",
+        _abstract_reset_applies,
+        _abstract_reset_apply,
+    ),
+    SyntaxFault(
+        "B2_bare_type_signal",
+        "B2",
+        "a signal is declared as a bare Chisel type without Wire()/IO()",
+        _bare_type_applies,
+        _bare_type_apply,
+    ),
+    SyntaxFault(
+        "B3_partial_initialization",
+        "B3",
+        "an output is only driven inside a when branch",
+        _uninitialized_applies,
+        _uninitialized_apply,
+    ),
+    SyntaxFault(
+        "B5_bool_arithmetic",
+        "B5",
+        "arithmetic applied to a Bool operand without asUInt",
+        _bool_arith_applies,
+        _bool_arith_apply,
+    ),
+    SyntaxFault(
+        "B6_asclock_on_uint",
+        "B6",
+        "asClock called on a UInt value",
+        _as_clock_applies,
+        _as_clock_apply,
+    ),
+    SyntaxFault(
+        "B7_index_out_of_bounds",
+        "B7",
+        "a bit index equal to the signal width (out of bounds)",
+        _out_of_bounds_applies,
+        _out_of_bounds_apply,
+    ),
+    SyntaxFault(
+        "C2_combinational_loop",
+        "C2",
+        "a wire combinationally depends on itself",
+        _comb_loop_applies,
+        _comb_loop_apply,
+    ),
+    SyntaxFault(
+        "PARSE_unbalanced_brace",
+        "PARSE",
+        "the final closing brace is missing",
+        _unbalanced_applies,
+        _unbalanced_apply,
+    ),
+]
+
+SYNTAX_FAULTS_BY_ID = {fault.fault_id: fault for fault in SYNTAX_FAULTS}
+
+
+def applicable_syntax_faults(source: str, problem: Problem) -> list[SyntaxFault]:
+    """All generic syntax faults that can be injected into ``source``."""
+    return [fault for fault in SYNTAX_FAULTS if fault.applies(source, problem)]

@@ -1,0 +1,23 @@
+"""Functional testbench harness: stimuli, functional points, DUT-vs-reference.
+
+Mirrors §IV-B of the paper: every test case carries a reference module and a
+series of *functional points* (input stimuli plus expected outputs); the
+simulator applies the stimuli to the DUT, compares against the reference, and
+the mismatching points become the functional-error feedback the Reviewer sees.
+"""
+
+from repro.sim.testbench import (
+    FunctionalPoint,
+    Mismatch,
+    SimulationReport,
+    Testbench,
+    run_testbench,
+)
+
+__all__ = [
+    "FunctionalPoint",
+    "Mismatch",
+    "SimulationReport",
+    "Testbench",
+    "run_testbench",
+]

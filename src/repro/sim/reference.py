@@ -1,0 +1,69 @@
+"""Behavioural (Python) reference models.
+
+The benchmark problems primarily use golden Verilog references (compiled from
+the golden Chisel solution), but a behavioural model is useful in tests to
+validate the Verilog simulator itself against an independent implementation,
+and as the reference for problems whose golden behaviour is easier to state
+directly in Python.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.hdl.bits import mask
+from repro.sim.testbench import DeviceUnderTest
+
+
+class BehavioralDevice(DeviceUnderTest):
+    """A reference model defined by Python functions over a state dict.
+
+    Parameters
+    ----------
+    output_widths:
+        Mapping of output port name to bit width (results are masked to it).
+    combinational:
+        ``f(inputs, state) -> outputs`` evaluated whenever outputs are read.
+    sequential:
+        Optional ``f(inputs, state) -> None`` applied once per clock cycle
+        (mutates ``state``).
+    reset_state:
+        Factory returning the initial/reset state dict.
+    """
+
+    def __init__(
+        self,
+        output_widths: dict[str, int],
+        combinational: Callable[[dict, dict], dict],
+        sequential: Callable[[dict, dict], None] | None = None,
+        reset_state: Callable[[], dict] | None = None,
+    ):
+        self.output_widths = dict(output_widths)
+        self.combinational = combinational
+        self.sequential = sequential
+        self.reset_state = reset_state or dict
+        self.state: dict = self.reset_state()
+        self.inputs: dict[str, int] = {}
+
+    def drive(self, inputs: dict[str, int]) -> None:
+        self.inputs.update(inputs)
+
+    def tick(self, clock: str, cycles: int) -> None:
+        if self.sequential is None:
+            return
+        for _ in range(cycles):
+            self.sequential(dict(self.inputs), self.state)
+
+    def reset_pulse(self, reset: str, clock: str, cycles: int) -> None:
+        if cycles > 0:
+            self.state = self.reset_state()
+
+    def read(self, name: str) -> int:
+        outputs = self.combinational(dict(self.inputs), self.state)
+        if name not in outputs:
+            raise KeyError(f"behavioural reference produced no output named {name!r}")
+        width = self.output_widths.get(name, 32)
+        return outputs[name] & mask(width)
+
+    def output_names(self) -> list[str]:
+        return list(self.output_widths)

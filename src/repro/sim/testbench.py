@@ -1,0 +1,197 @@
+"""Testbench execution: drive stimuli into DUT and reference, compare outputs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.verilog.simulator import Simulation, SimulationError
+from repro.verilog.vast import VModule
+
+
+@dataclass(frozen=True)
+class FunctionalPoint:
+    """One functional point: input stimuli, optional clocking, optional check.
+
+    ``clock_cycles`` positive edges are applied *after* the inputs are driven;
+    for purely combinational designs it stays 0 and outputs are compared after
+    settling.
+    """
+
+    inputs: dict[str, int] = field(default_factory=dict)
+    clock_cycles: int = 0
+    check: bool = True
+    comment: str = ""
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One failed functional point, formatted for reviewer feedback."""
+
+    point_index: int
+    signal: str
+    inputs: dict[str, int]
+    expected: int
+    actual: int
+    comment: str = ""
+
+    def render(self) -> str:
+        stimuli = ", ".join(f"{name}={value}" for name, value in sorted(self.inputs.items()))
+        text = (
+            f"functional point #{self.point_index}: output {self.signal} "
+            f"expected {self.expected} but got {self.actual} (inputs: {stimuli})"
+        )
+        if self.comment:
+            text += f" [{self.comment}]"
+        return text
+
+
+@dataclass
+class SimulationReport:
+    """Outcome of running a testbench against a DUT."""
+
+    total_points: int = 0
+    checked_points: int = 0
+    failed_points: int = 0
+    mismatches: list[Mismatch] = field(default_factory=list)
+    runtime_error: str | None = None
+
+    @property
+    def passed(self) -> bool:
+        return self.runtime_error is None and self.failed_points == 0
+
+    def render(self) -> str:
+        if self.runtime_error is not None:
+            return f"simulation error: {self.runtime_error}"
+        if self.passed:
+            return f"all {self.checked_points} functional points passed"
+        lines = [
+            f"{self.failed_points} of {self.checked_points} functional points failed:"
+        ]
+        for mismatch in self.mismatches[:20]:
+            lines.append("  " + mismatch.render())
+        if len(self.mismatches) > 20:
+            lines.append(f"  ... and {len(self.mismatches) - 20} more mismatches")
+        return "\n".join(lines)
+
+
+@dataclass
+class Testbench:
+    """A stimulus program shared by the DUT and the reference module."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    points: list[FunctionalPoint]
+    clock: str = "clock"
+    reset: str = "reset"
+    reset_cycles: int = 1
+    observed_outputs: list[str] | None = None
+    max_mismatches: int = 64
+
+
+class DeviceUnderTest:
+    """Adapter giving :class:`Simulation` and behavioural models one interface."""
+
+    def drive(self, inputs: dict[str, int]) -> None:
+        raise NotImplementedError
+
+    def tick(self, clock: str, cycles: int) -> None:
+        raise NotImplementedError
+
+    def reset_pulse(self, reset: str, clock: str, cycles: int) -> None:
+        raise NotImplementedError
+
+    def read(self, name: str) -> int:
+        raise NotImplementedError
+
+    def output_names(self) -> list[str]:
+        raise NotImplementedError
+
+
+class VerilogDevice(DeviceUnderTest):
+    """A Verilog module running in the cycle-based simulator."""
+
+    def __init__(self, module: VModule):
+        self.module = module
+        self.simulation = Simulation(module)
+
+    def drive(self, inputs: dict[str, int]) -> None:
+        known = {}
+        for name, value in inputs.items():
+            if self.module.port_named(name) is None:
+                raise SimulationError(
+                    f"module {self.module.name} has no port named {name!r}; the "
+                    "generated module does not match the required I/O contract"
+                )
+            known[name] = value
+        self.simulation.poke_many(known)
+
+    def tick(self, clock: str, cycles: int) -> None:
+        if cycles <= 0:
+            return
+        if self.module.port_named(clock) is None:
+            raise SimulationError(
+                f"module {self.module.name} has no clock port {clock!r}"
+            )
+        self.simulation.step(clock, cycles)
+
+    def reset_pulse(self, reset: str, clock: str, cycles: int) -> None:
+        if cycles <= 0 or self.module.port_named(reset) is None:
+            return
+        self.simulation.poke(reset, 1)
+        self.simulation.step(clock, cycles)
+        self.simulation.poke(reset, 0)
+
+    def read(self, name: str) -> int:
+        if self.module.port_named(name) is None:
+            raise SimulationError(
+                f"module {self.module.name} has no output port named {name!r}"
+            )
+        return self.simulation.peek(name)
+
+    def output_names(self) -> list[str]:
+        return [p.name for p in self.module.outputs()]
+
+
+def run_testbench(
+    dut: DeviceUnderTest | VModule,
+    reference: DeviceUnderTest | VModule,
+    testbench: Testbench,
+) -> SimulationReport:
+    """Run ``testbench`` on both devices and compare outputs point by point."""
+    if isinstance(dut, VModule):
+        dut = VerilogDevice(dut)
+    if isinstance(reference, VModule):
+        reference = VerilogDevice(reference)
+
+    report = SimulationReport(total_points=len(testbench.points))
+    try:
+        dut.reset_pulse(testbench.reset, testbench.clock, testbench.reset_cycles)
+        reference.reset_pulse(testbench.reset, testbench.clock, testbench.reset_cycles)
+
+        observed = testbench.observed_outputs
+        if observed is None:
+            observed = reference.output_names()
+
+        for index, point in enumerate(testbench.points):
+            dut.drive(point.inputs)
+            reference.drive(point.inputs)
+            dut.tick(testbench.clock, point.clock_cycles)
+            reference.tick(testbench.clock, point.clock_cycles)
+            if not point.check:
+                continue
+            report.checked_points += 1
+            point_failed = False
+            for signal in observed:
+                expected = reference.read(signal)
+                actual = dut.read(signal)
+                if expected != actual:
+                    point_failed = True
+                    if len(report.mismatches) < testbench.max_mismatches:
+                        report.mismatches.append(
+                            Mismatch(index, signal, dict(point.inputs), expected, actual, point.comment)
+                        )
+            if point_failed:
+                report.failed_points += 1
+    except SimulationError as exc:
+        report.runtime_error = str(exc)
+    return report

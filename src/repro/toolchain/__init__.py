@@ -1,0 +1,14 @@
+"""Toolchain facades: the two "external tools" of the ReChisel workflow (Fig. 2).
+
+:class:`~repro.toolchain.compiler.ChiselCompiler` turns Chisel source text
+into Verilog text plus structured diagnostics (parse, elaboration and FIRRTL
+pass errors are all reported through the same interface, the way ``sbt run``
+reports them as one compile step).  :class:`~repro.toolchain.simulator.Simulator`
+runs a compiled DUT against a reference module on a testbench and reports the
+failed functional points.
+"""
+
+from repro.toolchain.compiler import ChiselCompiler, CompileResult
+from repro.toolchain.simulator import SimulationOutcome, Simulator
+
+__all__ = ["ChiselCompiler", "CompileResult", "Simulator", "SimulationOutcome"]

@@ -1,0 +1,110 @@
+"""ChiselCompiler: Chisel source text → Verilog text + diagnostics.
+
+Bundles the whole frontend (parse → elaborate → FIRRTL passes → emit) behind
+one call, the way the paper's Compiler step wraps ``sbt``/firtool.  Every
+failure mode is reported as a list of :class:`~repro.chisel.diagnostics.Diagnostic`
+so the Reviewer can consume a uniform error list regardless of which stage
+failed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.diagnostics import ChiselError, Diagnostic, DiagnosticList, Severity
+from repro.chisel.elaborator import elaborate
+from repro.chisel.parser import parse_source
+from repro.firrtl import ir
+from repro.firrtl.pass_manager import PassManager
+from repro.verilog.emitter import EmitterError, emit_verilog
+
+# Compilation stages, reported so experiments can attribute errors.
+STAGE_PARSE = "parse"
+STAGE_ELABORATE = "elaborate"
+STAGE_FIRRTL = "firrtl"
+STAGE_EMIT = "emit"
+STAGE_OK = "ok"
+
+
+@dataclass
+class CompileResult:
+    """Outcome of compiling one Chisel source string."""
+
+    success: bool
+    verilog: str | None = None
+    circuit: ir.Circuit | None = None
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    stage: str = STAGE_OK
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    def render_feedback(self) -> str:
+        """Render diagnostics the way sbt prints a failed compile."""
+        if self.success:
+            return "[success] Compilation succeeded"
+        lines = [d.render() for d in self.diagnostics]
+        lines.append("[error] (Compile / compileIncremental) Compilation failed")
+        return "\n".join(lines)
+
+
+class ChiselCompiler:
+    """Compile Chisel source text to Verilog.
+
+    Parameters
+    ----------
+    top:
+        Optional top-module class name.  When omitted, the last class extending
+        ``Module`` in the source is elaborated (matching how the benchmark
+        specs name a single ``TopModule``).
+    """
+
+    def __init__(self, top: str | None = None):
+        self.top = top
+        self.pass_manager = PassManager()
+
+    def compile(self, source: str, top: str | None = None) -> CompileResult:
+        top = top if top is not None else self.top
+
+        try:
+            program = parse_source(source)
+        except ChiselError as exc:
+            return CompileResult(False, diagnostics=[exc.diagnostic], stage=STAGE_PARSE)
+        except RecursionError:
+            return CompileResult(
+                False,
+                diagnostics=[
+                    Diagnostic("source is too deeply nested to parse", code="PARSE")
+                ],
+                stage=STAGE_PARSE,
+            )
+
+        try:
+            circuit = elaborate(program, top)
+        except ChiselError as exc:
+            return CompileResult(False, diagnostics=[exc.diagnostic], stage=STAGE_ELABORATE)
+
+        result = self.pass_manager.run(circuit)
+        if not result.ok:
+            return CompileResult(
+                False,
+                circuit=result.circuit,
+                diagnostics=list(result.diagnostics),
+                stage=STAGE_FIRRTL,
+            )
+
+        try:
+            verilog = emit_verilog(result.circuit)
+        except EmitterError as exc:
+            return CompileResult(
+                False,
+                circuit=result.circuit,
+                diagnostics=[Diagnostic(str(exc), code="EMIT")],
+                stage=STAGE_EMIT,
+            )
+
+        warnings = [d for d in result.diagnostics if d.severity is not Severity.ERROR]
+        return CompileResult(
+            True, verilog=verilog, circuit=result.circuit, diagnostics=warnings, stage=STAGE_OK
+        )

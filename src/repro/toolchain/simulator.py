@@ -1,0 +1,67 @@
+"""Simulator facade: run a compiled DUT against a reference on a testbench."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.testbench import DeviceUnderTest, SimulationReport, Testbench, run_testbench
+from repro.verilog.parser import VerilogParseError, parse_verilog
+from repro.verilog.vast import VModule
+
+
+@dataclass
+class SimulationOutcome:
+    """Outcome of the Simulator step: parseability of the DUT plus the report."""
+
+    success: bool
+    report: SimulationReport | None = None
+    error: str | None = None
+
+    def render_feedback(self) -> str:
+        if self.error is not None:
+            return f"simulation could not start: {self.error}"
+        assert self.report is not None
+        return self.report.render()
+
+
+class Simulator:
+    """Functional simulation of a DUT Verilog module against a reference.
+
+    The reference may be a :class:`VModule` (e.g. golden Verilog compiled from
+    the golden Chisel solution), Verilog source text, or any
+    :class:`~repro.sim.testbench.DeviceUnderTest` (behavioural model).
+    """
+
+    def __init__(self, top: str | None = None):
+        self.top = top
+
+    def simulate(
+        self,
+        dut_verilog: str,
+        reference: VModule | str | DeviceUnderTest,
+        testbench: Testbench,
+    ) -> SimulationOutcome:
+        try:
+            dut_module = self._select_module(parse_verilog(dut_verilog))
+        except VerilogParseError as exc:
+            return SimulationOutcome(False, error=f"DUT Verilog could not be parsed: {exc}")
+        except (ValueError, IndexError) as exc:
+            return SimulationOutcome(False, error=str(exc))
+
+        if isinstance(reference, str):
+            try:
+                reference = self._select_module(parse_verilog(reference))
+            except VerilogParseError as exc:
+                return SimulationOutcome(False, error=f"reference Verilog could not be parsed: {exc}")
+
+        report = run_testbench(dut_module, reference, testbench)
+        return SimulationOutcome(report.passed, report=report)
+
+    def _select_module(self, modules: list[VModule]) -> VModule:
+        if not modules:
+            raise ValueError("no Verilog module definitions found")
+        if self.top is not None:
+            for module in modules:
+                if module.name == self.top:
+                    return module
+        return modules[-1]

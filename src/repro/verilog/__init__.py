@@ -1,0 +1,14 @@
+"""Verilog backend and frontend: emitter, parser, AST and simulator.
+
+The emitter turns a lowered, width-inferred FIRRTL circuit into synthesizable
+Verilog-2001; the parser and cycle-based simulator then execute that Verilog
+(and the hand-written reference modules shipped with the benchmark problems)
+so the testbench can compare DUT and reference outputs per functional point,
+exactly as the paper's simulation step does.
+"""
+
+from repro.verilog.emitter import emit_verilog
+from repro.verilog.parser import parse_verilog
+from repro.verilog.simulator import Simulation, SimulationError
+
+__all__ = ["emit_verilog", "parse_verilog", "Simulation", "SimulationError"]

@@ -1,0 +1,196 @@
+"""AST for the Verilog-2001 subset understood by the parser and simulator.
+
+The subset covers what the emitter produces plus the idioms used by the
+hand-written reference modules in :mod:`repro.problems`: ANSI port lists,
+``wire``/``reg`` declarations, continuous ``assign``, ``always @(*)`` and
+``always @(posedge clk)`` blocks, ``if``/``else``, ``case``, blocking and
+non-blocking assignments, and the usual expression operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VExpr:
+    pass
+
+
+@dataclass(frozen=True)
+class VIdent(VExpr):
+    name: str
+
+
+@dataclass(frozen=True)
+class VLiteral(VExpr):
+    value: int
+    width: int | None = None
+    signed: bool = False
+
+
+@dataclass(frozen=True)
+class VUnary(VExpr):
+    op: str  # ~ ! - & | ^ ~& ~| ~^
+    operand: VExpr
+
+
+@dataclass(frozen=True)
+class VBinary(VExpr):
+    op: str
+    left: VExpr
+    right: VExpr
+
+
+@dataclass(frozen=True)
+class VTernary(VExpr):
+    condition: VExpr
+    true_value: VExpr
+    false_value: VExpr
+
+
+@dataclass(frozen=True)
+class VConcat(VExpr):
+    parts: tuple[VExpr, ...]
+
+
+@dataclass(frozen=True)
+class VRepeat(VExpr):
+    count: int
+    value: VExpr
+
+
+@dataclass(frozen=True)
+class VIndex(VExpr):
+    target: VExpr
+    index: VExpr
+
+
+@dataclass(frozen=True)
+class VRange(VExpr):
+    target: VExpr
+    msb: int
+    lsb: int
+
+
+@dataclass(frozen=True)
+class VCall(VExpr):
+    name: str  # $signed / $unsigned
+    args: tuple[VExpr, ...]
+
+
+# ---------------------------------------------------------------------------
+# Statements (inside always blocks)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VStmt:
+    pass
+
+
+@dataclass
+class VBlockingAssign(VStmt):
+    target: VExpr
+    value: VExpr
+
+
+@dataclass
+class VNonBlockingAssign(VStmt):
+    target: VExpr
+    value: VExpr
+
+
+@dataclass
+class VIf(VStmt):
+    condition: VExpr
+    then_body: list[VStmt] = field(default_factory=list)
+    else_body: list[VStmt] = field(default_factory=list)
+
+
+@dataclass
+class VCaseItem:
+    patterns: list[VExpr] | None  # None means the default item
+    body: list[VStmt] = field(default_factory=list)
+
+
+@dataclass
+class VCase(VStmt):
+    subject: VExpr
+    items: list[VCaseItem] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Module items
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VPort:
+    name: str
+    direction: str  # "input" or "output"
+    msb: int = 0
+    lsb: int = 0
+    signed: bool = False
+    kind: str = "wire"  # "wire" or "reg" (output reg ...)
+
+    @property
+    def width(self) -> int:
+        return self.msb - self.lsb + 1
+
+
+@dataclass
+class VNet:
+    name: str
+    kind: str  # "wire" or "reg"
+    msb: int = 0
+    lsb: int = 0
+    signed: bool = False
+
+    @property
+    def width(self) -> int:
+        return self.msb - self.lsb + 1
+
+
+@dataclass
+class VAssign:
+    target: VExpr
+    value: VExpr
+
+
+@dataclass
+class VAlways:
+    """An always block; ``edges`` is empty for ``always @(*)``."""
+
+    edges: list[tuple[str, str]] = field(default_factory=list)  # (edge, signal)
+    body: list[VStmt] = field(default_factory=list)
+
+    @property
+    def is_combinational(self) -> bool:
+        return not self.edges
+
+
+@dataclass
+class VModule:
+    name: str
+    ports: list[VPort] = field(default_factory=list)
+    nets: list[VNet] = field(default_factory=list)
+    assigns: list[VAssign] = field(default_factory=list)
+    always_blocks: list[VAlways] = field(default_factory=list)
+    parameters: dict[str, int] = field(default_factory=dict)
+
+    def port_named(self, name: str) -> VPort | None:
+        for port in self.ports:
+            if port.name == name:
+                return port
+        return None
+
+    def inputs(self) -> list[VPort]:
+        return [p for p in self.ports if p.direction == "input"]
+
+    def outputs(self) -> list[VPort]:
+        return [p for p in self.ports if p.direction == "output"]

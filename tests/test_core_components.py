@@ -1,0 +1,213 @@
+"""Tests for the ReChisel core components: knowledge, feedback, trace, agents."""
+
+import pytest
+
+from repro.core.feedback import (
+    ErrorSignature,
+    Feedback,
+    FeedbackKind,
+    feedback_from_compile,
+    feedback_from_simulation,
+    success_feedback,
+)
+from repro.core.generator import Generator
+from repro.core.inspector import Inspector
+from repro.core.knowledge import (
+    KNOWLEDGE_BASE,
+    KNOWLEDGE_BY_CODE,
+    knowledge_for_codes,
+    render_knowledge,
+    wrap_snippet,
+)
+from repro.core.reviewer import Reviewer
+from repro.core.trace import Trace, TraceEntry
+from repro.llm.client import EchoClient
+from repro.problems.families.combinational import mux2
+from repro.toolchain.compiler import ChiselCompiler
+from repro.toolchain.simulator import Simulator
+
+COMPILER = ChiselCompiler(top="TopModule")
+
+
+class TestKnowledgeBase:
+    def test_covers_all_table2_classes(self):
+        codes = {entry.code for entry in KNOWLEDGE_BASE}
+        assert codes == {"A1", "A2", "A3", "B1", "B2", "B3", "B4", "B5", "B6", "B7", "C1", "C2"}
+
+    def test_every_entry_has_incorrect_and_corrected(self):
+        for entry in KNOWLEDGE_BASE:
+            assert entry.incorrect
+            assert entry.corrected
+            assert entry.guidance
+
+    def test_lookup_by_code_subset(self):
+        entries = knowledge_for_codes({"B3", "C2"})
+        assert [e.code for e in entries] == ["B3", "C2"]
+
+    def test_unknown_codes_fall_back_to_full_catalogue(self):
+        assert len(knowledge_for_codes({"WHATEVER"})) == len(KNOWLEDGE_BASE)
+
+    def test_render_contains_guidance(self):
+        text = render_knowledge([KNOWLEDGE_BY_CODE["B3"]])
+        assert "WireDefault" in text
+
+    @pytest.mark.parametrize(
+        "code", [e.code for e in KNOWLEDGE_BASE if not e.incorrect.lstrip().startswith("//")]
+    )
+    def test_incorrect_snippets_reproduce_their_error(self, code):
+        entry = KNOWLEDGE_BY_CODE[code]
+        result = COMPILER.compile(wrap_snippet(entry.incorrect))
+        assert not result.success
+        assert any(d.code == code for d in result.errors), result.render_feedback()
+
+    @pytest.mark.parametrize(
+        "code", [e.code for e in KNOWLEDGE_BASE if not e.corrected.lstrip().startswith("//")]
+    )
+    def test_corrected_snippets_compile(self, code):
+        entry = KNOWLEDGE_BY_CODE[code]
+        result = COMPILER.compile(wrap_snippet(entry.corrected))
+        assert result.success, result.render_feedback()
+
+
+class TestFeedback:
+    def test_compile_feedback_carries_signatures_and_codes(self):
+        result = COMPILER.compile(
+            "import chisel3._\nclass TopModule extends Module {\n"
+            "  val io = IO(new Bundle { val out = Output(UInt(4.W)) })\n"
+            "  val w = Wire(UInt(4.W))\n  io.out := w\n}"
+        )
+        feedback = feedback_from_compile(result)
+        assert feedback.kind is FeedbackKind.SYNTAX
+        assert feedback.signatures
+        assert "B3" in feedback.error_codes
+
+    def test_simulation_feedback_lists_mismatches(self):
+        problem = mux2(4, "verilogeval_s2r")
+        golden = COMPILER.compile(problem.golden_chisel).verilog
+        broken = COMPILER.compile(problem.functional_faults[0].apply(problem.golden_chisel)).verilog
+        outcome = Simulator(top="TopModule").simulate(broken, golden, problem.build_testbench())
+        feedback = feedback_from_simulation(outcome)
+        assert feedback.kind is FeedbackKind.FUNCTIONAL
+        assert any(sig.code == "FUNC" for sig in feedback.signatures)
+        assert "expected" in feedback.text
+
+    def test_success_feedback(self):
+        assert success_feedback().is_success
+
+
+class TestTrace:
+    def _entry(self, iteration, kind=FeedbackKind.SYNTAX, signature="Main.scala:3 [B3] x"):
+        location, rest = signature.split(" [", 1)
+        code, summary = rest.split("] ", 1)
+        feedback = Feedback(kind, "text", [ErrorSignature(location, code, summary)], {code})
+        return TraceEntry(iteration, f"code{iteration}", feedback)
+
+    def test_append_and_summary(self):
+        trace = Trace()
+        trace.append(self._entry(0))
+        trace.append(self._entry(1))
+        summary = trace.summary()
+        assert "iteration 0" in summary and "iteration 1" in summary
+
+    def test_discard_from_moves_entries(self):
+        trace = Trace()
+        for i in range(4):
+            trace.append(self._entry(i))
+        dropped = trace.discard_from(2)
+        assert len(dropped) == 2
+        assert len(trace) == 2
+        assert trace.escapes == 1
+
+    def test_summary_limits_length(self):
+        trace = Trace()
+        for i in range(20):
+            trace.append(self._entry(i))
+        assert "omitted" in trace.summary(limit=5)
+
+
+class TestInspector:
+    def _feedback(self, signature: str) -> Feedback:
+        location, rest = signature.split(" [", 1)
+        code, summary = rest.split("] ", 1)
+        return Feedback(
+            FeedbackKind.SYNTAX, "text", [ErrorSignature(location, code, summary)], {code}
+        )
+
+    def test_no_loop_on_distinct_errors(self):
+        inspector = Inspector()
+        trace = Trace()
+        inspector.record(trace, 0, "c0", self._feedback("a.scala:1 [B3] w not init"))
+        feedback = self._feedback("a.scala:9 [C2] comb loop")
+        inspector.record(trace, 1, "c1", feedback)
+        assert not inspector.check_for_loop(trace, feedback).detected
+
+    def test_loop_detected_on_repeated_error(self):
+        inspector = Inspector()
+        trace = Trace()
+        same = "a.scala:5 [B3] w not init"
+        inspector.record(trace, 0, "c0", self._feedback(same))
+        feedback = self._feedback(same)
+        inspector.record(trace, 1, "c1", feedback)
+        detection = inspector.check_for_loop(trace, feedback)
+        assert detection.detected
+        assert detection.loop_start == 0
+
+    def test_escape_discards_looping_iterations(self):
+        inspector = Inspector()
+        trace = Trace()
+        same = "a.scala:5 [B3] w not init"
+        inspector.record(trace, 0, "c0", self._feedback(same))
+        inspector.record(trace, 1, "c1", self._feedback(same))
+        inspector.record(trace, 2, "c2", feedback := self._feedback(same))
+        detection = inspector.check_for_loop(trace, feedback)
+        assert inspector.escape(trace, detection)
+        assert len(trace) == 1
+        assert trace.escapes == 1
+
+    def test_escape_disabled(self):
+        inspector = Inspector(enable_escape=False)
+        trace = Trace()
+        same = "a.scala:5 [B3] w not init"
+        inspector.record(trace, 0, "c0", self._feedback(same))
+        feedback = self._feedback(same)
+        inspector.record(trace, 1, "c1", feedback)
+        assert not inspector.check_for_loop(trace, feedback).detected
+
+    def test_success_feedback_never_loops(self):
+        inspector = Inspector()
+        trace = Trace()
+        inspector.record(trace, 0, "c0", self._feedback("a [B3] x"))
+        inspector.record(trace, 1, "c1", success_feedback())
+        assert not inspector.check_for_loop(trace, success_feedback()).detected
+
+
+class TestAgents:
+    def test_generator_extracts_code_from_fenced_response(self):
+        client = EchoClient("```scala\nclass TopModule extends Module {}\n```")
+        generator = Generator(client)
+        code = generator.generate("spec", "case_id")
+        assert code.startswith("class TopModule")
+        assert "case_id" in client.calls[0][-1].content
+
+    def test_generator_revision_includes_plan_and_previous_code(self):
+        client = EchoClient("```scala\nnew code\n```")
+        generator = Generator(client)
+        generator.revise("spec", "old code", "the plan", "case_id", escaped=True)
+        content = client.calls[0][-1].content
+        assert "old code" in content
+        assert "the plan" in content
+        assert "ESCAPE NOTICE" in content
+
+    def test_reviewer_includes_knowledge_when_enabled(self):
+        client = EchoClient("plan text")
+        reviewer = Reviewer(client, use_knowledge=True)
+        feedback = Feedback(FeedbackKind.SYNTAX, "[error] x", [], {"B3"})
+        reviewer.review("spec", "code", feedback, Trace(), "case")
+        assert "WireDefault" in client.calls[0][-1].content
+
+    def test_reviewer_omits_knowledge_when_disabled(self):
+        client = EchoClient("plan text")
+        reviewer = Reviewer(client, use_knowledge=False)
+        feedback = Feedback(FeedbackKind.SYNTAX, "[error] x", [], {"B3"})
+        reviewer.review("spec", "code", feedback, Trace(), "case")
+        assert "(disabled)" in client.calls[0][-1].content

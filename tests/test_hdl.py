@@ -1,0 +1,209 @@
+"""Tests for the HDL value substrate (bits and literal parsing)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hdl.bits import Bits, mask, min_width_for, to_signed, to_unsigned
+from repro.hdl.literals import LiteralError, parse_literal
+
+
+class TestMaskAndWidths:
+    def test_mask_values(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(8) == 255
+
+    def test_mask_rejects_negative(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+    @pytest.mark.parametrize(
+        "value,width", [(0, 1), (1, 1), (2, 2), (255, 8), (256, 9)]
+    )
+    def test_min_width_unsigned(self, value, width):
+        assert min_width_for(value) == width
+
+    @pytest.mark.parametrize("value,width", [(0, 1), (1, 2), (-1, 1), (-2, 2), (127, 8), (-128, 8)])
+    def test_min_width_signed(self, value, width):
+        assert min_width_for(value, signed=True) == width
+
+    def test_min_width_rejects_negative_unsigned(self):
+        with pytest.raises(ValueError):
+            min_width_for(-3)
+
+    def test_to_signed_and_unsigned(self):
+        assert to_unsigned(-1, 4) == 15
+        assert to_signed(15, 4) == -1
+        assert to_signed(7, 4) == 7
+
+
+class TestBitsArithmetic:
+    def test_wrapping_add_keeps_max_width(self):
+        result = Bits(200, 8).add(Bits(100, 8))
+        assert result.width == 8
+        assert result.value == (300 & 0xFF)
+
+    def test_expanding_add_keeps_carry(self):
+        result = Bits(200, 8).add_expand(Bits(100, 8))
+        assert result.width == 9
+        assert result.value == 300
+
+    def test_sub_wraps_two_complement(self):
+        result = Bits(3, 4).sub(Bits(5, 4))
+        assert result.value == (3 - 5) & 0xF
+
+    def test_mul_width_is_sum(self):
+        result = Bits(15, 4).mul(Bits(15, 4))
+        assert result.width == 8
+        assert result.value == 225
+
+    def test_div_by_zero_yields_zero(self):
+        assert Bits(9, 4).div(Bits(0, 4)).value == 0
+
+    def test_signed_division_truncates_toward_zero(self):
+        a = Bits(-7 & 0xF, 4, signed=True)
+        b = Bits(2, 4, signed=True)
+        assert a.div(b).as_int == -3
+
+    def test_rem_sign_follows_dividend(self):
+        a = Bits(-7 & 0xF, 4, signed=True)
+        b = Bits(2, 4, signed=True)
+        assert a.rem(b).as_int == -1
+
+    def test_neg(self):
+        assert Bits(3, 4).neg().as_int == -3
+
+
+class TestBitsBitwise:
+    def test_and_or_xor(self):
+        a, b = Bits(0b1100, 4), Bits(0b1010, 4)
+        assert a.bit_and(b).value == 0b1000
+        assert a.bit_or(b).value == 0b1110
+        assert a.bit_xor(b).value == 0b0110
+
+    def test_not_truncates_to_width(self):
+        assert Bits(0b1010, 4).bit_not().value == 0b0101
+
+    def test_reductions(self):
+        assert Bits(0b1111, 4).and_reduce().value == 1
+        assert Bits(0b0111, 4).and_reduce().value == 0
+        assert Bits(0, 4).or_reduce().value == 0
+        assert Bits(0b0100, 4).or_reduce().value == 1
+        assert Bits(0b0111, 4).xor_reduce().value == 1
+        assert Bits(0b0011, 4).xor_reduce().value == 0
+
+    def test_popcount(self):
+        assert Bits(0b1011, 4).popcount().value == 3
+
+    def test_reverse(self):
+        assert Bits(0b0011, 4).reverse().value == 0b1100
+
+
+class TestBitsStructure:
+    def test_bit_and_extract(self):
+        value = Bits(0b101101, 6)
+        assert value.bit(0).value == 1
+        assert value.bit(1).value == 0
+        assert value.extract(3, 1).value == 0b110
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(IndexError):
+            Bits(0, 4).bit(4)
+
+    def test_extract_out_of_range(self):
+        with pytest.raises(IndexError):
+            Bits(0, 4).extract(4, 0)
+
+    def test_cat_orders_msb_first(self):
+        assert Bits(0b10, 2).cat(Bits(0b01, 2)).value == 0b1001
+
+    def test_replicate(self):
+        assert Bits(0b1, 1).replicate(4).value == 0b1111
+        assert Bits(0b1, 1).replicate(0).width == 0
+
+    def test_resize_sign_extends(self):
+        value = Bits(0b1000, 4, signed=True)
+        assert value.resize(8).as_int == -8
+
+    def test_comparisons_signed(self):
+        a = Bits(0xF, 4, signed=True)  # -1
+        b = Bits(1, 4, signed=True)
+        assert a.lt(b).value == 1
+        assert b.gt(a).value == 1
+        assert a.eq(Bits(0xF, 4, signed=True)).value == 1
+
+
+class TestBitsProperties:
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    def test_add_matches_python_mod_256(self, a, b):
+        assert Bits(a, 8).add(Bits(b, 8)).value == (a + b) % 256
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    def test_expanding_add_exact(self, a, b):
+        assert Bits(a, 8).add_expand(Bits(b, 8)).value == a + b
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    def test_reverse_is_involution(self, value):
+        assert Bits(value, 16).reverse().reverse().value == value
+
+    @given(st.integers(min_value=0, max_value=2**12 - 1))
+    def test_cat_of_extracts_recomposes(self, value):
+        bits = Bits(value, 12)
+        high = bits.extract(11, 6)
+        low = bits.extract(5, 0)
+        assert high.cat(low).value == value
+
+    @given(st.integers(min_value=1, max_value=32), st.integers(min_value=0))
+    def test_roundtrip_signed_unsigned(self, width, raw):
+        raw &= (1 << width) - 1
+        assert to_unsigned(to_signed(raw, width), width) == raw
+
+
+class TestLiterals:
+    @pytest.mark.parametrize(
+        "text,value,width",
+        [
+            ("b001", 1, 3),
+            ("b1010", 10, 4),
+            ("hff", 255, 8),
+            ("hFF", 255, 8),
+            ("d42", 42, 6),
+            ("o17", 15, 6),
+            ("42", 42, 6),
+            ("0", 0, 1),
+        ],
+    )
+    def test_chisel_style_literals(self, text, value, width):
+        bits = parse_literal(text)
+        assert bits.value == value
+        assert bits.width == width
+
+    @pytest.mark.parametrize(
+        "text,value,width",
+        [("8'hff", 255, 8), ("4'b1010", 10, 4), ("16'd100", 100, 16), ("3'o7", 7, 3)],
+    )
+    def test_verilog_sized_literals(self, text, value, width):
+        bits = parse_literal(text)
+        assert bits.value == value
+        assert bits.width == width
+
+    def test_explicit_width_override(self):
+        assert parse_literal("b001", width=8).width == 8
+
+    def test_width_too_small_raises(self):
+        with pytest.raises(LiteralError):
+            parse_literal("hff", width=4)
+
+    def test_empty_literal_raises(self):
+        with pytest.raises(LiteralError):
+            parse_literal("")
+
+    def test_garbage_literal_raises(self):
+        with pytest.raises(LiteralError):
+            parse_literal("bxyz")
+
+    def test_signed_verilog_literal(self):
+        bits = parse_literal("4'sb1111", signed=True)
+        assert bits.signed
+        assert bits.as_int == -1

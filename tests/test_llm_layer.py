@@ -1,0 +1,189 @@
+"""Tests for the LLM layer: clients, prompts, profiles and the synthetic backend."""
+
+import pytest
+
+from repro.llm import prompts
+from repro.llm.client import CallableClient, ChatMessage, EchoClient
+from repro.llm.profiles import (
+    CLAUDE_HAIKU,
+    CLAUDE_SONNET,
+    GPT4O,
+    GPT4O_MINI,
+    GPT4_TURBO,
+    MODEL_PROFILES,
+    PAPER_MODELS,
+    profile_named,
+)
+from repro.llm.synthetic import SyntheticChiselLLM
+from repro.llm.verilog_faults import VERILOG_FAULTS, applicable_verilog_faults
+from repro.problems.registry import build_default_registry
+from repro.toolchain.compiler import ChiselCompiler
+from repro.verilog.parser import VerilogParseError, parse_verilog
+
+REGISTRY = build_default_registry()
+COMPILER = ChiselCompiler(top="TopModule")
+
+
+class TestClientsAndPrompts:
+    def test_callable_client_delegates(self):
+        client = CallableClient(lambda messages: f"echo:{messages[-1].content}")
+        assert client.complete([ChatMessage("user", "hi")]) == "echo:hi"
+
+    def test_echo_client_records_calls(self):
+        client = EchoClient("fixed")
+        client.complete([ChatMessage("user", "a")])
+        assert len(client.calls) == 1
+
+    def test_generation_prompt_contains_case_marker(self):
+        messages = prompts.generation_prompt("spec text", "adder_w8")
+        assert prompts.CASE_MARKER in messages[-1].content
+        assert "adder_w8" in messages[-1].content
+
+    def test_revision_prompt_includes_escape_notice_when_escaped(self):
+        messages = prompts.revision_prompt("spec", "case", "code", "plan", escaped=True)
+        assert prompts.ESCAPE_NOTICE in messages[-1].content
+
+    def test_verilog_prompt_switches_system_and_target(self):
+        messages = prompts.generation_prompt("spec", "case", language="verilog")
+        assert prompts.TARGET_VERILOG in messages[-1].content
+        assert "Verilog" in messages[0].content
+
+    def test_extract_code_block_with_language_tag(self):
+        text = "Here you go\n```scala\nval x = 1\n```\nthanks"
+        assert prompts.extract_code_block(text) == "val x = 1"
+
+    def test_extract_code_block_without_fence_returns_raw(self):
+        assert prompts.extract_code_block("val x = 1") == "val x = 1"
+
+
+class TestProfiles:
+    def test_all_paper_models_have_profiles(self):
+        assert set(PAPER_MODELS) == set(MODEL_PROFILES)
+
+    def test_baselines_match_paper_table1(self):
+        assert profile_named(GPT4_TURBO).chisel_baseline_success == pytest.approx(0.4554)
+        assert profile_named(CLAUDE_SONNET).verilog_baseline_success == pytest.approx(0.7793)
+
+    def test_chisel_baseline_below_verilog_baseline(self):
+        for profile in MODEL_PROFILES.values():
+            assert profile.chisel_baseline_success < profile.verilog_baseline_success
+
+    def test_claude_models_have_strongest_reflection(self):
+        sonnet = profile_named(CLAUDE_SONNET).chisel_fix_prob
+        haiku = profile_named(CLAUDE_HAIKU).chisel_fix_prob
+        for other in (GPT4_TURBO, GPT4O, GPT4O_MINI):
+            assert sonnet > profile_named(other).chisel_fix_prob
+            assert haiku > profile_named(other).chisel_fix_prob
+
+    def test_mini_is_weakest(self):
+        mini = profile_named(GPT4O_MINI)
+        assert mini.chisel_baseline_success == min(
+            p.chisel_baseline_success for p in MODEL_PROFILES.values()
+        )
+        assert mini.loop_prob == max(p.loop_prob for p in MODEL_PROFILES.values())
+
+    def test_fix_probability_dispatch(self):
+        profile = profile_named(GPT4O)
+        assert profile.fix_probability("syntax") == profile.chisel_fix_prob
+        assert profile.fix_probability("functional") == profile.functional_fix_prob
+        assert profile.fix_probability("syntax", language="verilog") == profile.verilog_fix_prob
+
+
+class TestVerilogFaults:
+    def test_faults_apply_to_emitted_golden(self):
+        golden = COMPILER.compile(REGISTRY.by_id("adder_w8").golden_chisel).verilog
+        assert applicable_verilog_faults(golden, "syntax")
+        assert applicable_verilog_faults(golden, "functional")
+
+    @pytest.mark.parametrize("fault", VERILOG_FAULTS, ids=lambda f: f.fault_id)
+    def test_syntax_faults_break_parsing_functional_do_not(self, fault):
+        golden = COMPILER.compile(REGISTRY.by_id("adder_w8").golden_chisel).verilog
+        if not fault.applies(golden):
+            pytest.skip("not applicable to this design")
+        mutated = fault.apply(golden)
+        if fault.kind == "syntax":
+            with pytest.raises(VerilogParseError):
+                parse_verilog(mutated)
+        else:
+            parse_verilog(mutated)
+            assert mutated != golden
+
+
+class TestSyntheticBackend:
+    def _client(self, model=CLAUDE_SONNET, seed=0):
+        return SyntheticChiselLLM(REGISTRY, MODEL_PROFILES[model], seed=seed, compiler=COMPILER)
+
+    def test_initial_generation_is_chisel_for_known_case(self):
+        client = self._client()
+        problem = REGISTRY.by_id("adder_w8")
+        response = client.complete(prompts.generation_prompt(problem.spec_text(), problem.problem_id))
+        code = prompts.extract_code_block(response)
+        assert "class TopModule" in code
+
+    def test_unknown_case_yields_placeholder(self):
+        client = self._client()
+        response = client.complete(prompts.generation_prompt("some spec", None))
+        assert "unknown benchmark case" in response
+
+    def test_baseline_success_rate_tracks_profile(self):
+        client = self._client(CLAUDE_SONNET, seed=42)
+        problem = REGISTRY.by_id("adder_w8")
+        golden = problem.golden_chisel.strip()
+        successes = 0
+        trials = 300
+        for _ in range(trials):
+            response = client.complete(
+                prompts.generation_prompt(problem.spec_text(), problem.problem_id)
+            )
+            if prompts.extract_code_block(response).strip() == golden:
+                successes += 1
+        rate = successes / trials
+        expected = MODEL_PROFILES[CLAUDE_SONNET].chisel_baseline_success
+        assert abs(rate - expected) < 0.10
+
+    def test_revision_eventually_repairs_faulty_code(self):
+        client = self._client(CLAUDE_SONNET, seed=1)
+        problem = REGISTRY.by_id("mux2_w8")
+        spec = problem.spec_text()
+        # Force a faulty starting point by sampling until the attempt differs from golden.
+        code = None
+        for _ in range(50):
+            candidate = prompts.extract_code_block(
+                client.complete(prompts.generation_prompt(spec, problem.problem_id))
+            )
+            if candidate.strip() != problem.golden_chisel.strip():
+                code = candidate
+                break
+        assert code is not None, "expected at least one faulty attempt"
+        for _ in range(60):
+            response = client.complete(
+                prompts.revision_prompt(spec, problem.problem_id, code, "fix the error")
+            )
+            code = prompts.extract_code_block(response)
+            if code.strip() == problem.golden_chisel.strip():
+                break
+        assert code.strip() == problem.golden_chisel.strip()
+
+    def test_verilog_generation_produces_verilog(self):
+        client = self._client()
+        problem = REGISTRY.by_id("adder_w8")
+        response = client.complete(
+            prompts.generation_prompt(problem.spec_text(), problem.problem_id, language="verilog")
+        )
+        code = prompts.extract_code_block(response)
+        assert "module TopModule" in code
+
+    def test_reviewer_prompt_yields_plan(self):
+        client = self._client()
+        messages = prompts.review_prompt(
+            "spec", "case", "code", "[error] something broke", "(no previous iterations)", "kb"
+        )
+        plan = client.complete(messages)
+        assert "Location" in plan or "regenerate" in plan
+
+    def test_inspector_prompt_answers_yes_for_identical_signatures(self):
+        client = self._client()
+        answer = client.complete(prompts.loop_check_prompt("loc [B3] x", "loc [B3] x"))
+        assert answer.startswith("YES")
+        answer = client.complete(prompts.loop_check_prompt("loc [B3] x", "other [B5] y"))
+        assert answer.startswith("NO")

@@ -1,0 +1,173 @@
+"""End-to-end tests of the ReChisel workflow and the baselines."""
+
+import pytest
+
+from repro.baselines.autochip import AutoChip
+from repro.baselines.zero_shot import ZeroShotRunner
+from repro.core.rechisel import ReChisel
+from repro.experiments.fig8_case_study import ITERATION_0, ITERATION_2, ScriptedClient
+from repro.llm.profiles import CLAUDE_SONNET, GPT4O_MINI, MODEL_PROFILES
+from repro.llm.synthetic import SyntheticChiselLLM
+from repro.problems.registry import build_default_registry
+from repro.toolchain.compiler import ChiselCompiler
+
+REGISTRY = build_default_registry()
+COMPILER = ChiselCompiler(top="TopModule")
+
+
+def reference_for(problem):
+    return COMPILER.compile(problem.golden_chisel).verilog
+
+
+def synthetic(model=CLAUDE_SONNET, seed=0):
+    return SyntheticChiselLLM(REGISTRY, MODEL_PROFILES[model], seed=seed, compiler=COMPILER)
+
+
+class TestScriptedWorkflow:
+    """Deterministic workflow behaviour using scripted generations."""
+
+    def test_immediate_success_terminates_at_iteration_zero(self):
+        problem = REGISTRY.by_id("mux2_w8")
+        client = ScriptedClient([problem.golden_chisel])
+        workflow = ReChisel(client, max_iterations=5)
+        result = workflow.run(
+            problem.spec_text(), problem.build_testbench(), reference_for(problem), problem.problem_id
+        )
+        assert result.success
+        assert result.success_iteration == 0
+        assert len(result.records) == 1
+
+    def test_syntax_then_functional_then_success(self):
+        problem = REGISTRY.by_id("vector5")
+        client = ScriptedClient([ITERATION_0, ITERATION_2, problem.golden_chisel])
+        workflow = ReChisel(client, max_iterations=5)
+        result = workflow.run(
+            problem.spec_text(), problem.build_testbench(), reference_for(problem), problem.problem_id
+        )
+        assert result.success
+        assert [r.outcome for r in result.records] == ["syntax", "functional", "success"]
+
+    def test_failure_when_iteration_cap_reached(self):
+        problem = REGISTRY.by_id("mux2_w8")
+        broken = problem.functional_faults[0].apply(problem.golden_chisel)
+        client = ScriptedClient([broken])  # the same wrong code forever
+        workflow = ReChisel(client, max_iterations=3)
+        result = workflow.run(
+            problem.spec_text(), problem.build_testbench(), reference_for(problem), problem.problem_id
+        )
+        assert not result.success
+        assert result.success_iteration is None
+        assert len(result.records) == 4  # initial + 3 reflections
+
+    def test_repeated_error_triggers_escape(self):
+        problem = REGISTRY.by_id("counter_w4")
+        faulty = "class TopModule extends Module {\n  val w = Wire(UInt(4.W))\n}"
+        client = ScriptedClient([faulty, faulty, faulty, faulty, problem.golden_chisel])
+        workflow = ReChisel(client, max_iterations=6)
+        result = workflow.run(
+            problem.spec_text(), problem.build_testbench(), reference_for(problem), problem.problem_id
+        )
+        assert result.escapes >= 1
+        assert result.success
+
+    def test_escape_can_be_disabled(self):
+        problem = REGISTRY.by_id("counter_w4")
+        faulty = "class TopModule extends Module {\n  val w = Wire(UInt(4.W))\n}"
+        client = ScriptedClient([faulty] * 4 + [problem.golden_chisel])
+        workflow = ReChisel(client, max_iterations=6, enable_escape=False)
+        result = workflow.run(
+            problem.spec_text(), problem.build_testbench(), reference_for(problem), problem.problem_id
+        )
+        assert result.escapes == 0
+
+    def test_outcome_at_holds_final_state(self):
+        problem = REGISTRY.by_id("mux2_w8")
+        client = ScriptedClient([problem.golden_chisel])
+        result = ReChisel(client, max_iterations=5).run(
+            problem.spec_text(), problem.build_testbench(), reference_for(problem), problem.problem_id
+        )
+        assert result.outcome_at(0) == "success"
+        assert result.outcome_at(5) == "success"
+        assert result.success_by(0) and result.success_by(10)
+
+
+class TestSyntheticWorkflow:
+    """Statistical workflow behaviour with the synthetic LLM."""
+
+    @pytest.mark.parametrize("problem_id", ["adder_w8", "counter_w4", "alu_w8", "vector5"])
+    def test_strong_model_solves_most_cases_within_ten_iterations(self, problem_id):
+        problem = REGISTRY.by_id(problem_id)
+        reference = reference_for(problem)
+        successes = 0
+        for seed in range(6):
+            client = synthetic(CLAUDE_SONNET, seed=seed)
+            result = ReChisel(client, max_iterations=10).run(
+                problem.spec_text(), problem.build_testbench(), reference, problem.problem_id
+            )
+            successes += result.success
+        assert successes >= 4
+
+    def test_reflection_beats_zero_shot_for_weak_model(self):
+        problem = REGISTRY.by_id("alu_w4")
+        reference = reference_for(problem)
+        zero_shot_successes = 0
+        reflection_successes = 0
+        for seed in range(10):
+            client = synthetic(GPT4O_MINI, seed=seed)
+            runner = ZeroShotRunner(client, language="chisel")
+            zero_shot_successes += runner.run(problem, reference).success
+            client = synthetic(GPT4O_MINI, seed=seed)
+            result = ReChisel(client, max_iterations=10).run(
+                problem.spec_text(), problem.build_testbench(), reference, problem.problem_id
+            )
+            reflection_successes += result.success
+        assert reflection_successes >= zero_shot_successes
+
+    def test_records_track_every_iteration(self):
+        problem = REGISTRY.by_id("seq_detect_101")
+        client = synthetic(GPT4O_MINI, seed=3)
+        result = ReChisel(client, max_iterations=4).run(
+            problem.spec_text(), problem.build_testbench(), reference_for(problem), problem.problem_id
+        )
+        assert len(result.records) <= 5
+        assert all(r.outcome in ("success", "syntax", "functional") for r in result.records)
+
+
+class TestBaselines:
+    def test_zero_shot_chisel_classifies_outcomes(self):
+        problem = REGISTRY.by_id("adder_w4")
+        reference = reference_for(problem)
+        outcomes = set()
+        for seed in range(20):
+            runner = ZeroShotRunner(synthetic(GPT4O_MINI, seed=seed), language="chisel")
+            outcomes.add(runner.run(problem, reference).outcome)
+        assert "success" in outcomes or "syntax" in outcomes
+
+    def test_zero_shot_verilog_succeeds_more_than_chisel_for_mini(self):
+        problem = REGISTRY.by_id("gate_and_w8")
+        reference = reference_for(problem)
+        chisel_wins = verilog_wins = 0
+        for seed in range(25):
+            chisel_wins += ZeroShotRunner(synthetic(GPT4O_MINI, seed=seed), "chisel").run(
+                problem, reference
+            ).success
+            verilog_wins += ZeroShotRunner(synthetic(GPT4O_MINI, seed=seed), "verilog").run(
+                problem, reference
+            ).success
+        assert verilog_wins > chisel_wins
+
+    def test_autochip_loop_reaches_success(self):
+        problem = REGISTRY.by_id("comparator_w8")
+        reference = reference_for(problem)
+        successes = 0
+        for seed in range(8):
+            runner = AutoChip(synthetic(CLAUDE_SONNET, seed=seed), max_iterations=10)
+            successes += runner.run(problem, reference).success
+        assert successes >= 5
+
+    def test_autochip_result_tracks_outcomes(self):
+        problem = REGISTRY.by_id("comparator_w8")
+        runner = AutoChip(synthetic(GPT4O_MINI, seed=1), max_iterations=3)
+        result = runner.run(problem, reference_for(problem))
+        assert 1 <= len(result.outcomes) <= 4
+        assert result.success_by(10) == result.success

@@ -1,0 +1,156 @@
+"""Tests for the testbench harness and the toolchain facades."""
+
+import pytest
+
+from repro.problems.families.combinational import adder, mux2
+from repro.problems.families.sequential import counter
+from repro.sim.reference import BehavioralDevice
+from repro.sim.testbench import FunctionalPoint, Testbench, run_testbench
+from repro.toolchain.compiler import ChiselCompiler
+from repro.toolchain.simulator import Simulator
+from repro.verilog.parser import parse_verilog
+
+COMPILER = ChiselCompiler(top="TopModule")
+SIMULATOR = Simulator(top="TopModule")
+
+
+def golden_verilog(problem):
+    result = COMPILER.compile(problem.golden_chisel)
+    assert result.success, result.render_feedback()
+    return result.verilog
+
+
+class TestTestbenchHarness:
+    def test_identical_modules_pass(self):
+        problem = mux2(8, "verilogeval_s2r")
+        verilog = golden_verilog(problem)
+        report = run_testbench(
+            parse_verilog(verilog)[0], parse_verilog(verilog)[0], problem.build_testbench()
+        )
+        assert report.passed
+        assert report.checked_points > 0
+
+    def test_mismatching_dut_reports_failures(self):
+        problem = mux2(8, "verilogeval_s2r")
+        fault = problem.functional_faults[0]
+        broken = COMPILER.compile(fault.apply(problem.golden_chisel)).verilog
+        report = run_testbench(
+            parse_verilog(broken)[0],
+            parse_verilog(golden_verilog(problem))[0],
+            problem.build_testbench(),
+        )
+        assert not report.passed
+        assert report.failed_points > 0
+        mismatch = report.mismatches[0]
+        assert mismatch.signal == "io_out"
+        assert "expected" in mismatch.render()
+
+    def test_missing_port_is_a_runtime_error(self):
+        problem = mux2(8, "verilogeval_s2r")
+        wrong_io = """
+        module TopModule(input [7:0] io_x, output [7:0] io_out);
+          assign io_out = io_x;
+        endmodule
+        """
+        report = run_testbench(
+            parse_verilog(wrong_io)[0],
+            parse_verilog(golden_verilog(problem))[0],
+            problem.build_testbench(),
+        )
+        assert not report.passed
+        assert report.runtime_error is not None
+
+    def test_behavioral_reference_matches_golden_counter(self):
+        problem = counter(4, "hdlbits")
+        verilog = golden_verilog(problem)
+
+        def step(inputs, state):
+            if inputs.get("io_en", 0):
+                state["count"] = (state.get("count", 0) + 1) % 16
+
+        reference = BehavioralDevice(
+            output_widths={"io_count": 4},
+            combinational=lambda inputs, state: {"io_count": state.get("count", 0)},
+            sequential=step,
+            reset_state=lambda: {"count": 0},
+        )
+        report = run_testbench(parse_verilog(verilog)[0], reference, problem.build_testbench(seed=5))
+        assert report.passed, report.render()
+
+    def test_behavioral_reference_matches_golden_adder(self):
+        problem = adder(8, "verilogeval_s2r")
+        verilog = golden_verilog(problem)
+        reference = BehavioralDevice(
+            output_widths={"io_sum": 8, "io_cout": 1},
+            combinational=lambda inputs, state: {
+                "io_sum": inputs["io_a"] + inputs["io_b"] + inputs["io_cin"],
+                "io_cout": (inputs["io_a"] + inputs["io_b"] + inputs["io_cin"]) >> 8,
+            },
+        )
+        report = run_testbench(parse_verilog(verilog)[0], reference, problem.build_testbench(seed=3))
+        assert report.passed, report.render()
+
+    def test_unchecked_points_are_not_compared(self):
+        testbench = Testbench(points=[FunctionalPoint({"io_a": 1}, check=False)], reset_cycles=0)
+        problem = mux2(8, "verilogeval_s2r")
+        verilog = golden_verilog(problem)
+        report = run_testbench(parse_verilog(verilog)[0], parse_verilog(verilog)[0], testbench)
+        assert report.checked_points == 0
+
+
+class TestCompilerFacade:
+    def test_successful_compile_produces_verilog(self):
+        problem = mux2(4, "verilogeval_s2r")
+        result = COMPILER.compile(problem.golden_chisel)
+        assert result.success
+        assert "module TopModule" in result.verilog
+        assert result.stage == "ok"
+
+    def test_parse_failure_reports_parse_stage(self):
+        result = COMPILER.compile("class TopModule extends Module { val x = ( }")
+        assert not result.success
+        assert result.stage == "parse"
+
+    def test_elaboration_failure_reports_stage(self):
+        result = COMPILER.compile(
+            "import chisel3._\nclass TopModule extends Module {\n"
+            "  val io = IO(new Bundle { val out = Output(UInt(4.W)) })\n"
+            "  io.out := missing\n}"
+        )
+        assert result.stage == "elaborate"
+
+    def test_firrtl_failure_reports_stage(self):
+        result = COMPILER.compile(
+            "import chisel3._\nclass TopModule extends Module {\n"
+            "  val io = IO(new Bundle { val out = Output(UInt(4.W)) })\n"
+            "  val w = Wire(UInt(4.W))\n"
+            "  when (w(0)) { w := 1.U }\n"
+            "  io.out := w\n}"
+        )
+        assert result.stage == "firrtl"
+
+    def test_feedback_ends_with_compilation_failed(self):
+        result = COMPILER.compile("class TopModule extends Module { val x = ( }")
+        assert result.render_feedback().endswith("Compilation failed")
+
+
+class TestSimulatorFacade:
+    def test_simulate_golden_against_itself(self):
+        problem = mux2(4, "verilogeval_s2r")
+        verilog = golden_verilog(problem)
+        outcome = SIMULATOR.simulate(verilog, verilog, problem.build_testbench())
+        assert outcome.success
+
+    def test_unparseable_dut_is_reported(self):
+        problem = mux2(4, "verilogeval_s2r")
+        outcome = SIMULATOR.simulate("module broken(", golden_verilog(problem), problem.build_testbench())
+        assert not outcome.success
+        assert "could not be parsed" in outcome.render_feedback()
+
+    def test_functional_mismatch_is_reported(self):
+        problem = mux2(4, "verilogeval_s2r")
+        fault = problem.functional_faults[0]
+        broken = COMPILER.compile(fault.apply(problem.golden_chisel)).verilog
+        outcome = SIMULATOR.simulate(broken, golden_verilog(problem), problem.build_testbench())
+        assert not outcome.success
+        assert "functional point" in outcome.render_feedback()

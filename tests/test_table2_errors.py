@@ -1,0 +1,179 @@
+"""Every Table II error class must be reproduced by the toolchain with the
+expected error code and a message resembling the paper's feedback column."""
+
+import pytest
+
+from repro.toolchain.compiler import ChiselCompiler
+
+HEADER = "import chisel3._\nimport chisel3.util._\n\n"
+
+
+def compile_body(body: str, io_fields: str = "") -> "CompileResult":
+    compiler = ChiselCompiler(top="TopModule")
+    source = HEADER + (
+        "class TopModule extends Module {\n"
+        "  val io = IO(new Bundle {\n"
+        "    val in = Input(UInt(4.W))\n"
+        "    val out = Output(UInt(4.W))\n"
+        f"{io_fields}"
+        "  })\n"
+        f"{body}\n"
+        "}\n"
+    )
+    return compiler.compile(source)
+
+
+def assert_error(result, code, fragment):
+    assert not result.success
+    codes = {d.code for d in result.errors}
+    assert code in codes, f"expected {code} in {codes}: {result.render_feedback()}"
+    assert fragment.lower() in result.render_feedback().lower()
+
+
+class TestStructuralErrors:
+    def test_a1_misspelled_identifier_with_suggestion(self):
+        result = compile_body("  val signal = Wire(UInt(4.W))\n  sgnal := 0.U\n  io.out := signal")
+        assert_error(result, "A1", "not found: value sgnal")
+        assert "Did you mean signal" in result.render_feedback()
+
+    def test_a2_scala_cast(self):
+        result = compile_body("  io.out := io.in.asInstanceOf[SInt].asUInt")
+        assert_error(result, "A2", "cannot be cast")
+
+    def test_a2_scala_equality_operator(self):
+        result = compile_body("  io.out := Mux(io.in == 0.U, 1.U, 0.U)")
+        assert_error(result, "A2", "===")
+
+    def test_a3_seq_apply_arity(self):
+        result = compile_body("  val r = Seq.fill(5)(0.U)\n  io.out := r(0, 2)")
+        assert_error(result, "A3", "Too many arguments")
+
+    def test_a3_uint_bit_extract_with_hardware_indices(self):
+        result = compile_body("  val startIdx = io.in\n  io.out := io.in((startIdx + 3.U), startIdx)")
+        assert_error(result, "A3", "overloaded method apply")
+
+
+class TestSignalErrors:
+    def test_b1_abstract_reset_port(self):
+        result = compile_body(
+            "  io.out := io.in",
+            io_fields="    val rst = Input(Reset())\n",
+        )
+        assert_error(result, "B1", "abstract reset")
+
+    def test_b2_bare_type_not_wrapped(self):
+        result = compile_body("  val temp = UInt(4.W)\n  temp := io.in\n  io.out := temp")
+        assert_error(result, "B2", "bare Chisel type")
+
+    def test_b2_clock_not_wrapped_in_io(self):
+        result = compile_body(
+            "  val clk = Input(Clock())\n  withClock (clk) { val r = RegNext(io.in) }\n  io.out := io.in"
+        )
+        assert_error(result, "B2", "must be hardware")
+
+    def test_b3_wire_not_fully_initialized(self):
+        result = compile_body(
+            "  val w = Wire(UInt(4.W))\n"
+            "  when (io.in(0)) { w := 1.U }\n"
+            "  io.out := w"
+        )
+        assert_error(result, "B3", "not fully initialized")
+
+    def test_b3_output_never_driven(self):
+        result = compile_body("  val unused = io.in")
+        assert_error(result, "B3", "never driven")
+
+    def test_b4_bundle_field_mismatch(self):
+        source = HEADER + (
+            "class OneBdl extends Bundle { val a = UInt(4.W)\n val c = UInt(4.W) }\n"
+            "class AnotherBdl extends Bundle { val a = UInt(4.W) }\n"
+            "class TopModule extends Module {\n"
+            "  val io = IO(new Bundle {\n"
+            "    val in = Input(UInt(4.W))\n"
+            "    val out = Output(UInt(4.W))\n"
+            "  })\n"
+            "  val x = Wire(new OneBdl)\n"
+            "  val y = Wire(new AnotherBdl)\n"
+            "  y.a := io.in\n"
+            "  x := y\n"
+            "  io.out := x.a\n"
+            "}\n"
+        )
+        result = ChiselCompiler(top="TopModule").compile(source)
+        assert_error(result, "B4", "missing field")
+
+    def test_b5_bool_arithmetic(self):
+        result = compile_body(
+            "  val oks = VecInit(io.in(0), io.in(1))\n  io.out := oks.reduce(_ +& _)"
+        )
+        assert_error(result, "B5", "chisel3.Bool")
+
+    def test_b5_uint_condition_for_when(self):
+        result = compile_body("  when (io.in) { io.out := 1.U } .otherwise { io.out := 0.U }")
+        assert_error(result, "B5", "required: chisel3.Bool")
+
+    def test_b6_asclock_on_uint(self):
+        result = compile_body(
+            "  val invertedClk = (io.in + 1.U).asClock\n  io.out := io.in"
+        )
+        assert_error(result, "B6", "asClock is not a member")
+
+    def test_b7_vec_index_out_of_bounds(self):
+        result = compile_body(
+            "  val vector = Wire(Vec(4, UInt(4.W)))\n"
+            "  for (i <- 0 until 4) { vector(i) := i.U }\n"
+            "  vector(4) := 0.U\n"
+            "  io.out := vector(0)"
+        )
+        assert_error(result, "B7", "out of bounds")
+
+    def test_b7_negative_index(self):
+        result = compile_body(
+            "  val vector = Wire(Vec(4, UInt(4.W)))\n"
+            "  vector(-1) := 0.U\n"
+            "  io.out := vector(0)"
+        )
+        assert_error(result, "B7", "out of bounds")
+
+
+class TestMiscellaneousErrors:
+    def test_c1_no_implicit_clock_in_raw_module(self):
+        source = HEADER + (
+            "class TopModule extends RawModule {\n"
+            "  val in = IO(Input(UInt(4.W)))\n"
+            "  val out = IO(Output(UInt(4.W)))\n"
+            "  val r = RegNext(in)\n"
+            "  out := r\n"
+            "}\n"
+        )
+        result = ChiselCompiler(top="TopModule").compile(source)
+        assert_error(result, "C1", "No implicit clock")
+
+    def test_c2_combinational_loop(self):
+        result = compile_body(
+            "  val a = Wire(UInt(4.W))\n  a := a + 1.U\n  io.out := a"
+        )
+        assert_error(result, "C2", "combinational cycle")
+
+    def test_switch_default_clause_is_rejected(self):
+        # The Fig. 4 non-progress loop: Chisel's switch has no default case.
+        result = compile_body(
+            "  val nextState = Wire(Bool())\n"
+            "  switch (io.in) {\n"
+            "    is (0.U) { nextState := false.B }\n"
+            "    default { nextState := false.B }\n"
+            "  }\n"
+            "  io.out := nextState.asUInt"
+        )
+        assert_error(result, "A1", "not found: value default")
+
+    def test_parse_error_reports_location(self):
+        compiler = ChiselCompiler(top="TopModule")
+        result = compiler.compile("class TopModule extends Module {\n  val x = (1 +\n}")
+        assert not result.success
+        assert result.stage == "parse"
+
+    def test_success_feedback_mentions_success(self):
+        result = compile_body("  io.out := io.in")
+        assert result.success
+        assert "success" in result.render_feedback().lower()
