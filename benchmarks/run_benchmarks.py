@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Run the toolchain throughput benchmark and write ``BENCH_toolchain.json``.
+
+Usage::
+
+    python benchmarks/run_benchmarks.py [output.json]
+
+The output is pytest-benchmark's JSON format (one entry per benchmark with
+min/mean/stddev/rounds), written to ``BENCH_toolchain.json`` at the repo root
+by default.  Commit-over-commit comparisons then only need to diff that file;
+run it alongside the tier-1 suite when touching the simulator, the Verilog
+frontend or the toolchain facades.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+
+def main(argv: list[str]) -> int:
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    output = argv[1] if len(argv) > 1 else os.path.join(root, "BENCH_toolchain.json")
+    src = os.path.join(root, "src")
+    sys.path.insert(0, src)
+    os.environ["PYTHONPATH"] = src + os.pathsep + os.environ.get("PYTHONPATH", "")
+    return pytest.main(
+        [
+            os.path.join(root, "benchmarks", "test_toolchain_throughput.py"),
+            "--benchmark-only",
+            f"--benchmark-json={output}",
+            "-q",
+        ]
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -2,6 +2,19 @@
 
 Not a paper table, but the number that determines how long the paper-scale
 sweeps take; useful for tracking performance regressions in the substrate.
+``python benchmarks/run_benchmarks.py`` runs this file and writes the
+pytest-benchmark JSON to ``BENCH_toolchain.json`` so the perf trajectory is
+recorded PR over PR.
+
+Three variants are tracked:
+
+* ``test_compile_and_simulate_alu`` — the production path: compiled simulation
+  kernels plus the compile/parse/kernel caches (steady-state, caches warm);
+* ``test_compile_and_simulate_alu_interpreter`` — the same workload forced
+  onto the tree-walking interpreter backend, to keep the compiled-vs-
+  interpreter gap visible;
+* ``test_simulate_alu_cold_compile`` — cache-defeating variant that pays the
+  Chisel compile on every round.
 """
 
 from repro.problems.registry import build_default_registry
@@ -22,3 +35,22 @@ def _compile_and_simulate():
 
 def test_compile_and_simulate_alu(benchmark):
     benchmark(_compile_and_simulate)
+
+
+def test_compile_and_simulate_alu_interpreter(benchmark, monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_BACKEND", "interpreter")
+    benchmark(_compile_and_simulate)
+
+
+def test_simulate_alu_cold_compile(benchmark):
+    cold_compiler = ChiselCompiler(top="TopModule", cache_size=None)
+    problem = REGISTRY.by_id("alu_w8")
+
+    def run():
+        compiled = cold_compiler.compile(problem.golden_chisel)
+        outcome = SIMULATOR.simulate(
+            compiled.verilog, compiled.verilog, problem.build_testbench()
+        )
+        assert outcome.success
+
+    benchmark(run)

@@ -1,0 +1,67 @@
+"""A small bounded LRU cache shared by the toolchain memoization layers.
+
+Three hot paths memoize pure functions of source text — Chisel compilation
+(:class:`~repro.toolchain.compiler.ChiselCompiler`), Verilog parsing
+(:mod:`repro.toolchain.simulator`) and kernel compilation
+(:mod:`repro.verilog.compile_sim`).  They share this helper so the eviction
+policy and stats live in one place.  Cached values are shared between callers:
+treat them as immutable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Generic, TypeVar
+
+V = TypeVar("V")
+
+_SENTINEL = object()
+
+
+def text_key(*parts: str | None) -> str:
+    """Stable cache key for one or more text fragments (e.g. source + top)."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(b"\x00" if part is None else part.encode())
+        digest.update(b"\x1f")
+    return digest.hexdigest()
+
+
+class LruCache(Generic[V]):
+    """Bounded insertion-refreshing cache with hit/miss counters.
+
+    ``max_size`` of 0 (or ``None``) disables storage entirely: every lookup
+    misses and :meth:`put` is a no-op.
+    """
+
+    def __init__(self, max_size: int | None):
+        self.max_size = max_size or 0
+        self._data: OrderedDict[str, V] = OrderedDict()
+        self.stats = {"hits": 0, "misses": 0}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def get(self, key: str, default: V | None = None) -> V | None:
+        value = self._data.get(key, _SENTINEL)
+        if value is _SENTINEL:
+            self.stats["misses"] += 1
+            return default
+        self.stats["hits"] += 1
+        self._data.move_to_end(key)
+        return value  # type: ignore[return-value]
+
+    def put(self, key: str, value: V) -> V:
+        if self.max_size:
+            self._data[key] = value
+            while len(self._data) > self.max_size:
+                self._data.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.stats.update(hits=0, misses=0)

@@ -53,7 +53,10 @@ class EvaluationHarness:
     def __init__(self, config: ExperimentConfig, registry: ProblemRegistry | None = None):
         self.config = config
         self.registry = registry or build_default_registry()
-        self.compiler = ChiselCompiler(top="TopModule")
+        # One shared compiler with a large result cache: identical candidate
+        # Chisel recurs across samples and iterations (the synthetic LLM draws
+        # from a finite fault space), so most compiles in a sweep are repeats.
+        self.compiler = ChiselCompiler(top="TopModule", cache_size=1024)
         self._references: dict[str, str] = {}
 
     # ----------------------------------------------------------------- inputs

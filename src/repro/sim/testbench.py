@@ -106,6 +106,9 @@ class DeviceUnderTest:
     def output_names(self) -> list[str]:
         raise NotImplementedError
 
+    def flush(self) -> None:
+        """Apply any deferred/batched stimulus now.  Default: nothing deferred."""
+
 
 class VerilogDevice(DeviceUnderTest):
     """A Verilog module running in the cycle-based simulator."""
@@ -123,7 +126,12 @@ class VerilogDevice(DeviceUnderTest):
                     "generated module does not match the required I/O contract"
                 )
             known[name] = value
-        self.simulation.poke_many(known)
+        # Defer settling: the next step(), read() or flush() settles once for
+        # the batch, in the same state an eager settle would have seen.
+        self.simulation.poke_many(known, settle=False)
+
+    def flush(self) -> None:
+        self.simulation.flush()
 
     def tick(self, clock: str, cycles: int) -> None:
         if cycles <= 0:
@@ -137,8 +145,14 @@ class VerilogDevice(DeviceUnderTest):
     def reset_pulse(self, reset: str, clock: str, cycles: int) -> None:
         if cycles <= 0 or self.module.port_named(reset) is None:
             return
-        self.simulation.poke(reset, 1)
+        # The assertion settle is deferred into step()'s pre-edge settle (same
+        # state, so merging is safe for any design).  The post-edge settle and
+        # the deassertion settle are kept eager: skipping either would change
+        # the settle *sequence*, which is observable for latch-like
+        # (path-dependent) combinational logic.
+        self.simulation.poke(reset, 1, settle=False)
         self.simulation.step(clock, cycles)
+        self.simulation.flush()
         self.simulation.poke(reset, 0)
 
     def read(self, name: str) -> int:
@@ -178,6 +192,11 @@ def run_testbench(
             dut.tick(testbench.clock, point.clock_cycles)
             reference.tick(testbench.clock, point.clock_cycles)
             if not point.check:
+                # Unchecked points trigger no reads, so force the deferred
+                # stimulus to settle before the next point overwrites it
+                # (latch-like designs are sensitive to the settle sequence).
+                dut.flush()
+                reference.flush()
                 continue
             report.checked_points += 1
             point_failed = False

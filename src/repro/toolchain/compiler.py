@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.caching import LruCache, text_key
 from repro.diagnostics import ChiselError, Diagnostic, DiagnosticList, Severity
 from repro.chisel.elaborator import elaborate
 from repro.chisel.parser import parse_source
@@ -58,15 +59,35 @@ class ChiselCompiler:
         Optional top-module class name.  When omitted, the last class extending
         ``Module`` in the source is elaborated (matching how the benchmark
         specs name a single ``TopModule``).
+    cache_size:
+        Number of compile results memoized by source hash (``None``/0 turns
+        caching off).  Compilation is a pure function of the source text, and
+        identical candidate Chisel recurs constantly across samples and
+        iterations in the paper-scale sweeps, so hits are the common case.
+        Cached :class:`CompileResult` objects are shared — treat them as
+        immutable.
     """
 
-    def __init__(self, top: str | None = None):
+    def __init__(self, top: str | None = None, cache_size: int | None = 128):
         self.top = top
         self.pass_manager = PassManager()
+        self._cache: LruCache[CompileResult] = LruCache(cache_size)
+
+    @property
+    def cache_stats(self) -> dict[str, int]:
+        return self._cache.stats
 
     def compile(self, source: str, top: str | None = None) -> CompileResult:
         top = top if top is not None else self.top
+        if not self._cache.max_size:
+            return self._compile(source, top)
+        key = text_key(top, source)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        return self._cache.put(key, self._compile(source, top))
 
+    def _compile(self, source: str, top: str | None) -> CompileResult:
         try:
             program = parse_source(source)
         except ChiselError as exc:

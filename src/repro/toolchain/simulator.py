@@ -1,12 +1,34 @@
-"""Simulator facade: run a compiled DUT against a reference on a testbench."""
+"""Simulator facade: run a compiled DUT against a reference on a testbench.
+
+Parsed module lists are memoized by source hash: the same DUT and reference
+text recur across samples, iterations and experiment sweeps, and sharing the
+parsed (immutable-by-convention) AST also lets the compiled-kernel cache in
+:mod:`repro.verilog.compile_sim` hit without re-fingerprinting new objects.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.caching import LruCache, text_key
 from repro.sim.testbench import DeviceUnderTest, SimulationReport, Testbench, run_testbench
 from repro.verilog.parser import VerilogParseError, parse_verilog
 from repro.verilog.vast import VModule
+
+_parse_cache: LruCache[list[VModule]] = LruCache(256)
+
+
+def _parse_cached(source: str) -> list[VModule]:
+    """parse_verilog with an LRU memo keyed by source hash (parse errors are not cached)."""
+    key = text_key(source)
+    cached = _parse_cache.get(key)
+    if cached is not None:
+        return cached
+    return _parse_cache.put(key, parse_verilog(source))
+
+
+def clear_parse_cache() -> None:
+    _parse_cache.clear()
 
 
 @dataclass
@@ -42,7 +64,7 @@ class Simulator:
         testbench: Testbench,
     ) -> SimulationOutcome:
         try:
-            dut_module = self._select_module(parse_verilog(dut_verilog))
+            dut_module = self._select_module(_parse_cached(dut_verilog))
         except VerilogParseError as exc:
             return SimulationOutcome(False, error=f"DUT Verilog could not be parsed: {exc}")
         except (ValueError, IndexError) as exc:
@@ -50,7 +72,7 @@ class Simulator:
 
         if isinstance(reference, str):
             try:
-                reference = self._select_module(parse_verilog(reference))
+                reference = self._select_module(_parse_cached(reference))
             except VerilogParseError as exc:
                 return SimulationOutcome(False, error=f"reference Verilog could not be parsed: {exc}")
 

@@ -5,10 +5,30 @@ Verilog-2001; the parser and cycle-based simulator then execute that Verilog
 (and the hand-written reference modules shipped with the benchmark problems)
 so the testbench can compare DUT and reference outputs per functional point,
 exactly as the paper's simulation step does.
+
+Simulation has two backends behind one API: compiled kernels (modules
+translated once to native Python closures, cached by content hash — see
+:mod:`repro.verilog.compile_sim`) and the tree-walking interpreter, which
+remains the fallback and differential-test oracle.
 """
 
+from repro.verilog.compile_sim import (
+    compile_kernel,
+    clear_kernel_cache,
+    get_kernel,
+    kernel_cache_stats,
+)
 from repro.verilog.emitter import emit_verilog
 from repro.verilog.parser import parse_verilog
 from repro.verilog.simulator import Simulation, SimulationError
 
-__all__ = ["emit_verilog", "parse_verilog", "Simulation", "SimulationError"]
+__all__ = [
+    "emit_verilog",
+    "parse_verilog",
+    "Simulation",
+    "SimulationError",
+    "compile_kernel",
+    "clear_kernel_cache",
+    "get_kernel",
+    "kernel_cache_stats",
+]

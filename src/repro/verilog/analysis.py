@@ -1,0 +1,430 @@
+"""One-time static analysis for the compiled simulation backend.
+
+The tree-walking interpreter in :mod:`repro.verilog.simulator` re-derives
+expression widths and signedness on every evaluation and settles combinational
+logic with a bounded fixed-point loop.  Everything it derives is *static*: it
+depends only on the module text, never on simulated values.  This module hoists
+that work out of the simulation inner loop:
+
+* :class:`ModuleAnalysis` builds the signal table once and memoizes the
+  context-determined width and signedness of every sub-expression;
+* combinational *nodes* (continuous assigns and ``always @(*)`` blocks) are
+  topologically sorted by data dependency so a settle becomes one ordered
+  pass; true combinational cycles are detected here, at compile time, and
+  reported as :class:`CombLoopError` so the caller can fall back to the
+  bounded-iteration interpreter;
+* :func:`module_fingerprint` gives a stable content hash used to cache
+  compiled kernels across repeated candidate attempts.
+
+The analysis is deliberately conservative: any structure whose once-through
+evaluation could diverge from the interpreter's fixed point (latch-like
+self-reads, multiple full drivers of one net) is rejected as unsupported and
+the interpreter remains the source of truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+from dataclasses import dataclass, field
+
+from repro.hdl.bits import mask as bit_mask
+from repro.verilog import vast
+
+
+class AnalysisError(Exception):
+    """The module is outside what the compiled backend supports."""
+
+
+class CombLoopError(AnalysisError):
+    """A true combinational cycle (or a structure we must treat as one)."""
+
+
+@dataclass(frozen=True)
+class SignalMeta:
+    """Static facts about one declared signal."""
+
+    name: str
+    slot: int
+    width: int
+    signed: bool
+    is_input: bool
+
+    @property
+    def mask(self) -> int:
+        return bit_mask(self.width)
+
+
+@dataclass
+class CombNode:
+    """One schedulable unit of combinational logic."""
+
+    index: int  # position in source order (assigns first, then blocks)
+    kind: str  # "assign" | "block"
+    item: vast.VAssign | vast.VAlways
+    reads: frozenset[str] = frozenset()
+    writes: frozenset[str] = frozenset()
+    full_writes: frozenset[str] = frozenset()
+
+
+# Operators whose result is one self-determined bit.
+_BOOL_BINOPS = ("==", "!=", "===", "!==", "<", "<=", ">", ">=", "&&", "||")
+_REDUCTIONS = ("&", "|", "^", "~&", "~|", "~^", "!")
+
+
+class ModuleAnalysis:
+    """Width/signedness resolution and combinational scheduling for one module."""
+
+    def __init__(self, module: vast.VModule):
+        self.module = module
+        self.signals: dict[str, SignalMeta] = {}
+        # Memos key by id() but store the expression alongside the result,
+        # pinning its lifetime so a freed node's address can never be reused
+        # by a different expression and serve a stale entry.
+        self._width_memo: dict[int, tuple[vast.VExpr, int]] = {}
+        self._signed_memo: dict[int, tuple[vast.VExpr, bool]] = {}
+        self._schedule: list[CombNode] | None = None
+        self._build_signal_table()
+
+    # ------------------------------------------------------------ signal table
+
+    def _build_signal_table(self) -> None:
+        # Mirrors Simulation.__post_init__: ports first, then nets; an
+        # ``output reg q`` style re-declaration refines signedness only.
+        widths: dict[str, tuple[int, bool, bool]] = {}
+        order: list[str] = []
+        for port in self.module.ports:
+            widths[port.name] = (port.width, port.signed, port.direction == "input")
+            order.append(port.name)
+        for net in self.module.nets:
+            if net.name in widths:
+                width, signed, is_input = widths[net.name]
+                widths[net.name] = (width, signed or net.signed, is_input)
+                continue
+            widths[net.name] = (net.width, net.signed, False)
+            order.append(net.name)
+        for slot, name in enumerate(order):
+            width, signed, is_input = widths[name]
+            self.signals[name] = SignalMeta(name, slot, width, signed, is_input)
+
+    def meta(self, name: str) -> SignalMeta:
+        try:
+            return self.signals[name]
+        except KeyError:
+            raise AnalysisError(
+                f"reference to undeclared signal {name!r} in module {self.module.name}"
+            ) from None
+
+    # -------------------------------------------------------- width / signedness
+
+    def width(self, expr: vast.VExpr) -> int:
+        """Self-determined width of ``expr`` (memoized by node identity)."""
+        cached = self._width_memo.get(id(expr))
+        if cached is not None:
+            return cached[1]
+        width = self._width_of(expr)
+        self._width_memo[id(expr)] = (expr, width)
+        return width
+
+    def _width_of(self, expr: vast.VExpr) -> int:
+        if isinstance(expr, vast.VIdent):
+            return self.meta(expr.name).width
+        if isinstance(expr, vast.VLiteral):
+            return expr.width if expr.width is not None else 32
+        if isinstance(expr, vast.VUnary):
+            if expr.op in _REDUCTIONS:
+                return 1
+            return self.width(expr.operand)
+        if isinstance(expr, vast.VBinary):
+            if expr.op in _BOOL_BINOPS:
+                return 1
+            if expr.op in ("<<", ">>", "<<<", ">>>"):
+                return self.width(expr.left)
+            return max(self.width(expr.left), self.width(expr.right))
+        if isinstance(expr, vast.VTernary):
+            return max(self.width(expr.true_value), self.width(expr.false_value))
+        if isinstance(expr, vast.VConcat):
+            return sum(self.width(p) for p in expr.parts)
+        if isinstance(expr, vast.VRepeat):
+            return expr.count * self.width(expr.value)
+        if isinstance(expr, vast.VIndex):
+            return 1
+        if isinstance(expr, vast.VRange):
+            return expr.msb - expr.lsb + 1
+        if isinstance(expr, vast.VCall):
+            return self.width(expr.args[0])
+        raise AnalysisError(f"cannot compute width of {expr!r}")
+
+    def signedness(self, expr: vast.VExpr) -> bool:
+        """Signedness of ``expr`` under the interpreter's rules (memoized)."""
+        cached = self._signed_memo.get(id(expr))
+        if cached is not None:
+            return cached[1]
+        signed = self._signed_of(expr)
+        self._signed_memo[id(expr)] = (expr, signed)
+        return signed
+
+    def _signed_of(self, expr: vast.VExpr) -> bool:
+        if isinstance(expr, vast.VIdent):
+            return self.meta(expr.name).signed
+        if isinstance(expr, vast.VLiteral):
+            return expr.signed
+        if isinstance(expr, vast.VCall):
+            return expr.name == "$signed"
+        if isinstance(expr, vast.VUnary):
+            if expr.op in _REDUCTIONS:
+                return False
+            return self.signedness(expr.operand)
+        if isinstance(expr, vast.VBinary):
+            if expr.op in _BOOL_BINOPS:
+                return False
+            return self.signedness(expr.left) and self.signedness(expr.right)
+        if isinstance(expr, vast.VTernary):
+            return self.signedness(expr.true_value) and self.signedness(expr.false_value)
+        return False
+
+    # ------------------------------------------------------------- dependencies
+
+    def _expr_reads(self, expr: vast.VExpr, defined: set[str], reads: set[str]) -> None:
+        if isinstance(expr, vast.VIdent):
+            if expr.name not in defined:
+                reads.add(expr.name)
+            return
+        if isinstance(expr, vast.VLiteral):
+            return
+        if isinstance(expr, vast.VUnary):
+            self._expr_reads(expr.operand, defined, reads)
+        elif isinstance(expr, vast.VBinary):
+            self._expr_reads(expr.left, defined, reads)
+            self._expr_reads(expr.right, defined, reads)
+        elif isinstance(expr, vast.VTernary):
+            self._expr_reads(expr.condition, defined, reads)
+            self._expr_reads(expr.true_value, defined, reads)
+            self._expr_reads(expr.false_value, defined, reads)
+        elif isinstance(expr, vast.VConcat):
+            for part in expr.parts:
+                self._expr_reads(part, defined, reads)
+        elif isinstance(expr, vast.VRepeat):
+            self._expr_reads(expr.value, defined, reads)
+        elif isinstance(expr, vast.VIndex):
+            self._expr_reads(expr.target, defined, reads)
+            self._expr_reads(expr.index, defined, reads)
+        elif isinstance(expr, vast.VRange):
+            self._expr_reads(expr.target, defined, reads)
+        elif isinstance(expr, vast.VCall):
+            for arg in expr.args:
+                self._expr_reads(arg, defined, reads)
+        else:
+            raise AnalysisError(f"unsupported expression {expr!r}")
+
+    def _target_io(
+        self,
+        target: vast.VExpr,
+        defined: set[str],
+        reads: set[str],
+        writes: set[str],
+        full_writes: set[str],
+    ) -> None:
+        if isinstance(target, vast.VIdent):
+            writes.add(target.name)
+            full_writes.add(target.name)
+            defined.add(target.name)
+            return
+        if isinstance(target, vast.VIndex):
+            base = target.target
+            if not isinstance(base, vast.VIdent):
+                raise AnalysisError(f"unsupported assignment target {target!r}")
+            self._expr_reads(target.index, defined, reads)
+            # Partial writes read-modify-write the accumulated store; the
+            # implicit base read does not constitute a data dependency.
+            writes.add(base.name)
+            return
+        if isinstance(target, vast.VRange):
+            base = target.target
+            if not isinstance(base, vast.VIdent):
+                raise AnalysisError(f"unsupported assignment target {target!r}")
+            writes.add(base.name)
+            return
+        raise AnalysisError(f"unsupported assignment target {target!r}")
+
+    def _stmts_io(
+        self,
+        stmts: list[vast.VStmt],
+        defined: set[str],
+        reads: set[str],
+        writes: set[str],
+        full_writes: set[str],
+    ) -> None:
+        """Use-before-def analysis over a statement list (mutates ``defined``)."""
+        for stmt in stmts:
+            if isinstance(stmt, (vast.VBlockingAssign, vast.VNonBlockingAssign)):
+                if (
+                    isinstance(stmt, vast.VBlockingAssign)
+                    and isinstance(stmt.target, vast.VIdent)
+                    and stmt.target.name == "_"
+                ):
+                    continue  # null statement placeholder, skipped by the interpreter
+                self._expr_reads(stmt.value, defined, reads)
+                self._target_io(stmt.target, defined, reads, writes, full_writes)
+            elif isinstance(stmt, vast.VIf):
+                self._expr_reads(stmt.condition, defined, reads)
+                then_defined = set(defined)
+                else_defined = set(defined)
+                self._stmts_io(stmt.then_body, then_defined, reads, writes, full_writes)
+                self._stmts_io(stmt.else_body, else_defined, reads, writes, full_writes)
+                defined |= then_defined & else_defined
+            elif isinstance(stmt, vast.VCase):
+                self._expr_reads(stmt.subject, defined, reads)
+                branch_defined: list[set[str]] = []
+                has_default = False
+                for item in stmt.items:
+                    if item.patterns is None:
+                        has_default = True
+                    else:
+                        for pattern in item.patterns:
+                            self._expr_reads(pattern, defined, reads)
+                    item_defined = set(defined)
+                    self._stmts_io(item.body, item_defined, reads, writes, full_writes)
+                    branch_defined.append(item_defined)
+                if has_default and branch_defined:
+                    common = set.intersection(*branch_defined)
+                    defined |= common
+            else:
+                raise AnalysisError(f"unsupported statement {stmt!r}")
+
+    def comb_nodes(self) -> list[CombNode]:
+        """All combinational nodes with their read/write sets, in source order."""
+        nodes: list[CombNode] = []
+        for assign in self.module.assigns:
+            reads: set[str] = set()
+            writes: set[str] = set()
+            full_writes: set[str] = set()
+            defined: set[str] = set()
+            self._expr_reads(assign.value, defined, reads)
+            self._target_io(assign.target, defined, reads, writes, full_writes)
+            nodes.append(
+                CombNode(
+                    len(nodes), "assign", assign,
+                    frozenset(reads), frozenset(writes), frozenset(full_writes),
+                )
+            )
+        for block in self.module.always_blocks:
+            if not block.is_combinational:
+                continue
+            reads = set()
+            writes = set()
+            full_writes = set()
+            defined = set()
+            self._stmts_io(block.body, defined, reads, writes, full_writes)
+            nodes.append(
+                CombNode(
+                    len(nodes), "block", block,
+                    frozenset(reads), frozenset(writes), frozenset(full_writes),
+                )
+            )
+        return nodes
+
+    def schedule(self) -> list[CombNode]:
+        """Topologically-ordered combinational nodes (one-pass settle order).
+
+        Raises :class:`CombLoopError` for true cycles and for the conservative
+        cases (self-reads, multiple full drivers) whose once-through evaluation
+        could diverge from the interpreter's fixed point.
+        """
+        if self._schedule is not None:
+            return self._schedule
+        nodes = self.comb_nodes()
+
+        writers: dict[str, list[CombNode]] = {}
+        for node in nodes:
+            if node.reads & node.writes:
+                conflicted = sorted(node.reads & node.writes)
+                raise CombLoopError(
+                    f"combinational node reads its own output(s) {conflicted} "
+                    f"in module {self.module.name}"
+                )
+            for name in node.writes:
+                writers.setdefault(name, []).append(node)
+        for name, node_list in writers.items():
+            if len(node_list) > 1 and any(name in n.full_writes for n in node_list):
+                raise CombLoopError(
+                    f"signal {name!r} has multiple combinational drivers "
+                    f"in module {self.module.name}"
+                )
+
+        successors: dict[int, set[int]] = {node.index: set() for node in nodes}
+        indegree: dict[int, int] = {node.index: 0 for node in nodes}
+
+        def add_edge(src: int, dst: int) -> None:
+            if dst not in successors[src]:
+                successors[src].add(dst)
+                indegree[dst] += 1
+
+        by_index = {node.index: node for node in nodes}
+        for node in nodes:
+            for name in node.reads:
+                for writer in writers.get(name, ()):
+                    if writer.index != node.index:
+                        add_edge(writer.index, node.index)
+        # Multiple (partial) writers of one signal keep their source order so a
+        # once-through pass accumulates bits exactly like the interpreter.
+        for node_list in writers.values():
+            for earlier, later in zip(node_list, node_list[1:]):
+                add_edge(earlier.index, later.index)
+
+        ready = [index for index, degree in indegree.items() if degree == 0]
+        heapq.heapify(ready)
+        ordered: list[CombNode] = []
+        while ready:
+            index = heapq.heappop(ready)
+            ordered.append(by_index[index])
+            for succ in successors[index]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    heapq.heappush(ready, succ)
+        if len(ordered) != len(nodes):
+            stuck = sorted(set(by_index) - {node.index for node in ordered})
+            names = sorted({name for i in stuck for name in by_index[i].writes})
+            raise CombLoopError(
+                f"combinational cycle through signal(s) {names} in module {self.module.name}"
+            )
+        self._schedule = ordered
+        return ordered
+
+    # ------------------------------------------------------------------ clocks
+
+    def clocks(self) -> list[str]:
+        """All signals used as a posedge trigger, in first-seen order."""
+        seen: list[str] = []
+        for block in self.module.always_blocks:
+            for edge, signal in block.edges:
+                if edge == "posedge" and signal not in seen:
+                    seen.append(signal)
+        return seen
+
+    def clocked_blocks(self, clock: str) -> list[vast.VAlways]:
+        """Blocks triggered by ``posedge clock`` (the interpreter's rule)."""
+        return [
+            block
+            for block in self.module.always_blocks
+            if any(edge == "posedge" and signal == clock for edge, signal in block.edges)
+        ]
+
+
+def module_fingerprint(module: vast.VModule) -> str:
+    """Stable content hash of a module, for kernel caching.
+
+    Dataclass ``repr`` is deterministic and covers every field recursively, so
+    two structurally identical parses of the same source hash identically.
+    """
+    payload = repr(
+        (
+            module.name,
+            module.parameters,
+            module.ports,
+            module.nets,
+            module.assigns,
+            module.always_blocks,
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()

@@ -1,0 +1,548 @@
+"""Compiled simulation backend: Verilog modules → native Python closures.
+
+Where :class:`repro.verilog.simulator.Simulation` walks the AST and re-derives
+widths on every evaluation, this module translates a :class:`vast.VModule`
+*once* into straight-line Python source operating on a flat ``list[int]`` of
+signal slots with all masks, widths and sign-extension constants folded in at
+compile time:
+
+* the combinational pass (``comb(s)``) executes the continuous assigns and
+  ``always @(*)`` blocks in the topological order computed by
+  :class:`~repro.verilog.analysis.ModuleAnalysis`, so settling is a single
+  ordered sweep instead of a bounded fixed-point loop;
+* one clocked pass per clock (``step(s)``) snapshots non-blocking targets,
+  executes the triggered blocks, and commits — reproducing the interpreter's
+  blocking/non-blocking semantics exactly;
+* the generated source is ``compile()``/``exec``'d into closures and cached by
+  module content hash, so repeated candidate attempts across samples and
+  iterations never pay for analysis or codegen twice.
+
+Modules using constructs whose once-through evaluation could diverge from the
+interpreter (combinational cycles, latch-like self reads, multiple full
+drivers) raise :class:`~repro.verilog.analysis.AnalysisError` from
+:func:`compile_kernel`; :func:`get_kernel` converts that into ``None`` so the
+caller falls back to the interpreter, which stays the semantic oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.caching import LruCache
+from repro.hdl.bits import mask as _mask
+from repro.verilog import vast
+from repro.verilog.analysis import (
+    AnalysisError,
+    CombLoopError,
+    ModuleAnalysis,
+    SignalMeta,
+    module_fingerprint,
+)
+
+__all__ = [
+    "AnalysisError",
+    "CombLoopError",
+    "KernelTemplate",
+    "compile_kernel",
+    "get_kernel",
+    "kernel_cache_stats",
+    "clear_kernel_cache",
+]
+
+
+def _vdiv(a: int, b: int) -> int:
+    """Verilog division: truncate toward zero, ``x / 0 == 0``."""
+    if b == 0:
+        return 0
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _vrem(a: int, b: int) -> int:
+    """Verilog remainder: sign follows the dividend, ``x % 0 == 0``."""
+    if b == 0:
+        return 0
+    r = abs(a) % abs(b)
+    return -r if a < 0 else r
+
+
+@dataclass
+class KernelTemplate:
+    """A compiled module: shared, immutable; per-instance state is a list."""
+
+    module_name: str
+    fingerprint: str
+    slots: dict[str, SignalMeta]
+    n_slots: int
+    comb: Callable[[list[int]], None]
+    steps: dict[str, Callable[[list[int]], None]] = field(default_factory=dict)
+    source: str = ""
+
+    def new_state(self) -> list[int]:
+        return [0] * self.n_slots
+
+
+def _sx(code: str, width: int) -> str:
+    """Sign-extend a ``width``-bit masked value to a Python int."""
+    if width <= 0:
+        return code
+    sign_bit = 1 << (width - 1)
+    return f"((({code}) ^ {sign_bit}) - {sign_bit})"
+
+
+_COMPARISONS = {
+    "==": "==", "===": "==", "!=": "!=", "!==": "!=",
+    "<": "<", "<=": "<=", ">": ">", ">=": ">=",
+}
+
+
+class _Store:
+    """Where a statement context's writes go and where its RMW reads come from."""
+
+    def __init__(self, lvalue: Callable[[SignalMeta], str]):
+        self.lvalue = lvalue
+
+
+class _Codegen:
+    def __init__(self, analysis: ModuleAnalysis):
+        self.a = analysis
+        self.lines: list[str] = []
+        self._tmp = 0
+
+    # ------------------------------------------------------------------ output
+
+    def emit(self, indent: int, text: str) -> None:
+        self.lines.append("    " * indent + text)
+
+    def fresh(self) -> str:
+        self._tmp += 1
+        return f"_t{self._tmp}"
+
+    # ------------------------------------------------------------- expressions
+
+    def gen(self, expr: vast.VExpr, w: int, read: Callable[[str], str]) -> str:
+        """Python code for the unsigned value of ``expr`` masked to ``w`` bits.
+
+        ``w`` must be >= the self-determined width of ``expr``; under that
+        invariant the produced value matches ``Simulation._eval_sized``'s
+        ``.value`` field bit for bit.
+        """
+        a = self.a
+        if isinstance(expr, vast.VIdent):
+            meta = a.meta(expr.name)
+            base = read(expr.name)
+            if w == meta.width:
+                return base
+            if w < meta.width:
+                return f"({base} & {_mask(w)})"
+            if meta.signed:
+                return f"({_sx(base, meta.width)} & {_mask(w)})"
+            return base
+        if isinstance(expr, vast.VLiteral):
+            return str(expr.value & _mask(w))
+        if isinstance(expr, vast.VCall):
+            # $signed / $unsigned only flip the static flag; the raw value
+            # (already masked to w) is unchanged.
+            return self.gen(expr.args[0], w, read)
+        if isinstance(expr, vast.VUnary):
+            return self._gen_unary(expr, w, read)
+        if isinstance(expr, vast.VBinary):
+            return self._gen_binary(expr, w, read)
+        if isinstance(expr, vast.VTernary):
+            c = self.gen(expr.condition, a.width(expr.condition), read)
+            t = self.gen(expr.true_value, w, read)
+            f = self.gen(expr.false_value, w, read)
+            return f"(({t}) if ({c}) != 0 else ({f}))"
+        if isinstance(expr, vast.VConcat):
+            parts = []
+            offset = sum(a.width(p) for p in expr.parts)
+            for part in expr.parts:
+                pw = a.width(part)
+                offset -= pw
+                code = self.gen(part, pw, read)
+                parts.append(f"(({code}) << {offset})" if offset else f"({code})")
+            return f"({' | '.join(parts)})" if parts else "0"
+        if isinstance(expr, vast.VRepeat):
+            if expr.count == 0:
+                return "0"
+            pw = a.width(expr.value)
+            code = self.gen(expr.value, pw, read)
+            # Multiplying a pw-wide value by 0b...0001_0001 replicates it.
+            stamp = sum(1 << (i * pw) for i in range(expr.count))
+            return f"(({code}) * {stamp})"
+        if isinstance(expr, vast.VIndex):
+            tw = a.width(expr.target)
+            t = self.gen(expr.target, tw, read)
+            if isinstance(expr.index, vast.VLiteral):
+                index = expr.index.value & _mask(a.width(expr.index))
+                if index >= tw:
+                    return "0"
+                return f"((({t}) >> {index}) & 1)"
+            i = self.gen(expr.index, a.width(expr.index), read)
+            return f"(((({t}) >> ({i})) & 1) if ({i}) < {tw} else 0)"
+        if isinstance(expr, vast.VRange):
+            t = self.gen(expr.target, a.width(expr.target), read)
+            fw = expr.msb - expr.lsb + 1
+            return f"((({t}) >> {expr.lsb}) & {_mask(fw)})"
+        raise AnalysisError(f"unsupported expression {expr!r}")
+
+    def _gen_unary(self, expr: vast.VUnary, w: int, read) -> str:
+        a = self.a
+        if expr.op in ("&", "|", "^", "~&", "~|", "~^"):
+            ow = a.width(expr.operand)
+            oc = self.gen(expr.operand, ow, read)
+            if expr.op == "&":
+                return f"(1 if ({oc}) == {_mask(ow)} else 0)" if ow > 0 else "0"
+            if expr.op == "~&":
+                return f"(0 if ({oc}) == {_mask(ow)} else 1)" if ow > 0 else "1"
+            if expr.op == "|":
+                return f"(1 if ({oc}) != 0 else 0)"
+            if expr.op == "~|":
+                return f"(0 if ({oc}) != 0 else 1)"
+            if expr.op == "^":
+                return f"(({oc}).bit_count() & 1)"
+            return f"((({oc}).bit_count() & 1) ^ 1)"  # ~^
+        if expr.op == "!":
+            oc = self.gen(expr.operand, a.width(expr.operand), read)
+            return f"(0 if ({oc}) != 0 else 1)"
+        if expr.op == "~":
+            oc = self.gen(expr.operand, w, read)
+            return f"((~({oc})) & {_mask(w)})"
+        if expr.op == "-":
+            oc = self.gen(expr.operand, w, read)
+            if self.a.signedness(expr.operand):
+                oc = _sx(oc, w)
+            return f"((-({oc})) & {_mask(w)})"
+        raise AnalysisError(f"unsupported unary operator {expr.op}")
+
+    def _gen_binary(self, expr: vast.VBinary, w: int, read) -> str:
+        a = self.a
+        op = expr.op
+        if op in ("&&", "||"):
+            l = self.gen(expr.left, a.width(expr.left), read)
+            r = self.gen(expr.right, a.width(expr.right), read)
+            joiner = "and" if op == "&&" else "or"
+            return f"(1 if (({l}) != 0 {joiner} ({r}) != 0) else 0)"
+        if op in _COMPARISONS:
+            ow = max(a.width(expr.left), a.width(expr.right))
+            operands_signed = a.signedness(expr.left) and a.signedness(expr.right)
+            l = self.gen(expr.left, ow, read)
+            r = self.gen(expr.right, ow, read)
+            if operands_signed:
+                l, r = _sx(l, ow), _sx(r, ow)
+            return f"(1 if ({l}) {_COMPARISONS[op]} ({r}) else 0)"
+        if op in ("<<", ">>", "<<<", ">>>"):
+            l = self.gen(expr.left, w, read)
+            amt = self.gen(expr.right, a.width(expr.right), read)
+            if op in ("<<", "<<<"):
+                return f"((({l}) << ({amt})) & {_mask(w)})"
+            if op == ">>>" and a.signedness(expr.left):
+                return f"((({_sx(l, w)}) >> ({amt})) & {_mask(w)})"
+            return f"(({l}) >> ({amt}))"
+        signed = a.signedness(expr)
+        l = self.gen(expr.left, w, read)
+        r = self.gen(expr.right, w, read)
+        if op in ("&", "|"):
+            return f"(({l}) {op} ({r}))"
+        if op == "^":
+            return f"(({l}) ^ ({r}))"
+        if op in ("^~", "~^"):
+            return f"((~(({l}) ^ ({r}))) & {_mask(w)})"
+        lv, rv = (_sx(l, w), _sx(r, w)) if signed else (l, r)
+        if op == "+":
+            return f"((({lv}) + ({rv})) & {_mask(w)})"
+        if op == "-":
+            return f"((({lv}) - ({rv})) & {_mask(w)})"
+        if op == "*":
+            return f"((({lv}) * ({rv})) & {_mask(w)})"
+        if op == "/":
+            return f"((_vdiv({lv}, {rv})) & {_mask(w)})"
+        if op == "%":
+            return f"((_vrem({lv}, {rv})) & {_mask(w)})"
+        raise AnalysisError(f"unsupported binary operator {op}")
+
+    # -------------------------------------------------------------- statements
+
+    def emit_assign(
+        self,
+        target: vast.VExpr,
+        value: vast.VExpr,
+        indent: int,
+        read: Callable[[str], str],
+        store: _Store,
+    ) -> None:
+        a = self.a
+        if isinstance(target, vast.VIdent):
+            meta = a.meta(target.name)
+            cw = max(a.width(value), meta.width)
+            code = self.gen(value, cw, read)
+            if cw > meta.width:
+                code = f"({code}) & {meta.mask}"
+            self.emit(indent, f"{store.lvalue(meta)} = {code}")
+            return
+        if isinstance(target, vast.VIndex):
+            if not isinstance(target.target, vast.VIdent):
+                raise AnalysisError(f"unsupported assignment target {target!r}")
+            meta = a.meta(target.target.name)
+            cw = max(a.width(value), 1)
+            bit = f"({self.gen(value, cw, read)}) & 1"
+            lv = store.lvalue(meta)
+            tmp = self.fresh()
+            self.emit(indent, f"{tmp} = {self.gen(target.index, a.width(target.index), read)}")
+            self.emit(indent, f"if {tmp} < {meta.width}:")
+            self.emit(indent + 1, f"{lv} = ({lv} & ~(1 << {tmp})) | (({bit}) << {tmp})")
+            return
+        if isinstance(target, vast.VRange):
+            if not isinstance(target.target, vast.VIdent):
+                raise AnalysisError(f"unsupported assignment target {target!r}")
+            meta = a.meta(target.target.name)
+            fw = target.msb - target.lsb + 1
+            cw = max(a.width(value), fw)
+            code = self.gen(value, cw, read)
+            fm = _mask(fw) << target.lsb
+            lv = store.lvalue(meta)
+            self.emit(
+                indent,
+                f"{lv} = (({lv} & ~{fm}) | ((({code}) & {_mask(fw)}) << {target.lsb}))"
+                f" & {meta.mask}",
+            )
+            return
+        raise AnalysisError(f"unsupported assignment target {target!r}")
+
+    def emit_stmts(
+        self,
+        stmts: list[vast.VStmt],
+        indent: int,
+        read: Callable[[str], str],
+        blocking: _Store,
+        nonblocking: _Store,
+    ) -> None:
+        emitted = False
+        for stmt in stmts:
+            if isinstance(stmt, vast.VBlockingAssign):
+                if isinstance(stmt.target, vast.VIdent) and stmt.target.name == "_":
+                    continue  # null statement placeholder
+                self.emit_assign(stmt.target, stmt.value, indent, read, blocking)
+            elif isinstance(stmt, vast.VNonBlockingAssign):
+                self.emit_assign(stmt.target, stmt.value, indent, read, nonblocking)
+            elif isinstance(stmt, vast.VIf):
+                cond = self.gen(stmt.condition, self.a.width(stmt.condition), read)
+                self.emit(indent, f"if ({cond}) != 0:")
+                self.emit_stmts(stmt.then_body, indent + 1, read, blocking, nonblocking)
+                if stmt.else_body:
+                    self.emit(indent, "else:")
+                    self.emit_stmts(stmt.else_body, indent + 1, read, blocking, nonblocking)
+            elif isinstance(stmt, vast.VCase):
+                self._emit_case(stmt, indent, read, blocking, nonblocking)
+            else:
+                raise AnalysisError(f"unsupported statement {stmt!r}")
+            emitted = True
+        if not emitted:
+            self.emit(indent, "pass")
+
+    def _emit_case(
+        self,
+        stmt: vast.VCase,
+        indent: int,
+        read: Callable[[str], str],
+        blocking: _Store,
+        nonblocking: _Store,
+    ) -> None:
+        subject = self.fresh()
+        self.emit(indent, f"{subject} = {self.gen(stmt.subject, self.a.width(stmt.subject), read)}")
+        default_item = None
+        keyword = "if"
+        any_branch = False
+        for item in stmt.items:
+            if item.patterns is None:
+                default_item = item
+                continue
+            tests = [
+                f"{subject} == ({self.gen(p, self.a.width(p), read)})" for p in item.patterns
+            ]
+            condition = " or ".join(tests) if tests else "False"
+            self.emit(indent, f"{keyword} {condition}:")
+            self.emit_stmts(item.body, indent + 1, read, blocking, nonblocking)
+            keyword = "elif"
+            any_branch = True
+        if default_item is not None:
+            if any_branch:
+                self.emit(indent, "else:")
+                self.emit_stmts(default_item.body, indent + 1, read, blocking, nonblocking)
+            else:
+                self.emit_stmts(default_item.body, indent, read, blocking, nonblocking)
+
+
+# ---------------------------------------------------------------------------
+# Module compilation
+# ---------------------------------------------------------------------------
+
+
+def _blocking_targets(stmts: list[vast.VStmt], blocking: set[str], nonblocking: set[str]) -> None:
+    """Collect base names of blocking / non-blocking targets in a block body."""
+    for stmt in stmts:
+        if isinstance(stmt, (vast.VBlockingAssign, vast.VNonBlockingAssign)):
+            target = stmt.target
+            if isinstance(target, vast.VIdent) and target.name == "_" and isinstance(
+                stmt, vast.VBlockingAssign
+            ):
+                continue
+            base = target
+            if isinstance(target, (vast.VIndex, vast.VRange)):
+                base = target.target
+            if not isinstance(base, vast.VIdent):
+                raise AnalysisError(f"unsupported assignment target {target!r}")
+            bucket = blocking if isinstance(stmt, vast.VBlockingAssign) else nonblocking
+            bucket.add(base.name)
+        elif isinstance(stmt, vast.VIf):
+            _blocking_targets(stmt.then_body, blocking, nonblocking)
+            _blocking_targets(stmt.else_body, blocking, nonblocking)
+        elif isinstance(stmt, vast.VCase):
+            for item in stmt.items:
+                _blocking_targets(item.body, blocking, nonblocking)
+        else:
+            raise AnalysisError(f"unsupported statement {stmt!r}")
+
+
+def compile_kernel(module: vast.VModule, analysis: ModuleAnalysis | None = None) -> KernelTemplate:
+    """Translate ``module`` to native closures; raises AnalysisError if unsupported."""
+    analysis = analysis if analysis is not None else ModuleAnalysis(module)
+    schedule = analysis.schedule()  # raises CombLoopError on true cycles
+    gen = _Codegen(analysis)
+
+    def comb_read(name: str) -> str:
+        return f"s[{analysis.meta(name).slot}]"
+
+    comb_store = _Store(lambda meta: f"s[{meta.slot}]")
+
+    gen.emit(0, "def comb(s):")
+    if schedule:
+        for node in schedule:
+            if node.kind == "assign":
+                assign = node.item
+                gen.emit_assign(assign.target, assign.value, 1, comb_read, comb_store)
+            else:
+                gen.emit_stmts(node.item.body, 1, comb_read, comb_store, comb_store)
+    else:
+        gen.emit(1, "pass")
+    gen.emit(0, "")
+
+    clocks = analysis.clocks()
+    step_names: dict[str, str] = {}
+    for clock_index, clock in enumerate(clocks):
+        blocks = analysis.clocked_blocks(clock)
+        function = f"_step_{clock_index}"
+        step_names[clock] = function
+
+        # All non-blocking target slots across the triggered blocks share one
+        # pending set, exactly like the interpreter's shared ``pending`` dict.
+        pending_slots: list[int] = []
+        block_plans: list[tuple[vast.VAlways, set[str]]] = []
+        seen_pending: set[int] = set()
+        for block in blocks:
+            blocking: set[str] = set()
+            nonblocking: set[str] = set()
+            _blocking_targets(block.body, blocking, nonblocking)
+            overlap = blocking & nonblocking
+            if overlap:
+                raise AnalysisError(
+                    f"signal(s) {sorted(overlap)} are both blocking and non-blocking "
+                    f"targets in one always block of module {module.name}"
+                )
+            for name in nonblocking:
+                slot = analysis.meta(name).slot
+                if slot not in seen_pending:
+                    seen_pending.add(slot)
+                    pending_slots.append(slot)
+            for name in blocking:
+                analysis.meta(name)  # force unknown-signal detection
+            block_plans.append((block, blocking))
+
+        gen.emit(0, f"def {function}(s):")
+        if not blocks:
+            gen.emit(1, "pass")
+        for slot in pending_slots:
+            gen.emit(1, f"_n{slot} = s[{slot}]")
+        for block_index, (block, blocking) in enumerate(block_plans):
+            blocking_slots = sorted(analysis.meta(name).slot for name in blocking)
+            for slot in blocking_slots:
+                gen.emit(1, f"_b{block_index}_{slot} = s[{slot}]")
+            blocking_set = set(blocking)
+
+            def clocked_read(name: str, _bi=block_index, _bset=blocking_set) -> str:
+                meta = analysis.meta(name)
+                if name in _bset:
+                    return f"_b{_bi}_{meta.slot}"
+                return f"s[{meta.slot}]"
+
+            blocking_store = _Store(lambda meta, _bi=block_index: f"_b{_bi}_{meta.slot}")
+            nonblocking_store = _Store(lambda meta: f"_n{meta.slot}")
+            gen.emit_stmts(block.body, 1, clocked_read, blocking_store, nonblocking_store)
+        for slot in pending_slots:
+            gen.emit(1, f"s[{slot}] = _n{slot}")
+        gen.emit(0, "")
+
+    source = "\n".join(gen.lines)
+    namespace: dict[str, object] = {"_vdiv": _vdiv, "_vrem": _vrem}
+    exec(compile(source, f"<kernel:{module.name}>", "exec"), namespace)
+
+    return KernelTemplate(
+        module_name=module.name,
+        fingerprint=module_fingerprint(module),
+        slots=dict(analysis.signals),
+        n_slots=len(analysis.signals),
+        comb=namespace["comb"],
+        steps={clock: namespace[function] for clock, function in step_names.items()},
+        source=source,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Kernel cache
+# ---------------------------------------------------------------------------
+
+_cache: LruCache[KernelTemplate | None] = LruCache(256)
+_fallbacks = [0]
+_MISSING = object()
+
+
+def get_kernel(module: vast.VModule) -> KernelTemplate | None:
+    """Cached kernel for ``module``; ``None`` means "use the interpreter".
+
+    Unsupported modules are negatively cached so repeated attempts (the common
+    case in iterative-repair sweeps) skip re-analysis too.  The fingerprint is
+    memoized on the module object itself, so repeated Simulation construction
+    over a shared parsed AST (the parse cache's normal hit path) costs one
+    dict lookup, not an AST-sized repr + hash.
+    """
+    fingerprint = getattr(module, "_kernel_fingerprint", None)
+    if fingerprint is None:
+        fingerprint = module_fingerprint(module)
+        module._kernel_fingerprint = fingerprint  # AST is immutable by convention
+    cached = _cache.get(fingerprint, _MISSING)
+    if cached is not _MISSING:
+        return cached
+    try:
+        template: KernelTemplate | None = compile_kernel(module)
+    except AnalysisError:
+        # Deliberately unsupported: negatively cache so repeated attempts
+        # (the common case in iterative-repair sweeps) skip re-analysis.
+        _fallbacks[0] += 1
+        return _cache.put(fingerprint, None)
+    except (RecursionError, ValueError):
+        # RecursionError depends on the caller's stack depth, and ValueError
+        # covers degenerate widths the interpreter only rejects lazily — fall
+        # back for this call, but don't demote the module permanently.
+        _fallbacks[0] += 1
+        return None
+    return _cache.put(fingerprint, template)
+
+
+def kernel_cache_stats() -> dict[str, int]:
+    return dict(_cache.stats, fallbacks=_fallbacks[0], size=len(_cache))
+
+
+def clear_kernel_cache() -> None:
+    _cache.clear()
+    _fallbacks[0] = 0

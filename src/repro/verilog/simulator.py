@@ -1,8 +1,24 @@
 """Cycle-based two-state simulator for the supported Verilog subset.
 
 The simulator executes a single module (no hierarchy): inputs are poked by
-the testbench, combinational logic settles to a fixed point, and
-:meth:`Simulation.step` advances registered logic by one clock edge.
+the testbench, combinational logic settles, and :meth:`Simulation.step`
+advances registered logic by one clock edge.  Two backends share the same
+poke/peek/step API:
+
+* the **compiled** backend (:mod:`repro.verilog.compile_sim`) translates the
+  module once into native Python closures over a flat slot array, with all
+  widths and masks resolved at compile time and combinational logic settled in
+  one topologically-ordered pass;
+* the **interpreter** walks the AST and settles with a bounded fixed-point
+  loop.  It is the fallback for modules the compiler rejects (combinational
+  cycles, latch-like self reads, multiple drivers) and the differential-test
+  oracle for the compiled backend.
+
+Backend selection: ``Simulation(module, backend=...)`` accepts ``"auto"``
+(compiled with interpreter fallback — the default), ``"compiled"`` (raise if
+the module cannot be compiled) and ``"interpreter"``.  The environment
+variable ``REPRO_SIM_BACKEND`` overrides the default for ``"auto"`` callers.
+
 Expression evaluation follows Verilog's context-determined sizing rules in a
 simplified form that is sufficient for the emitted and hand-written designs:
 
@@ -14,10 +30,13 @@ simplified form that is sufficient for the emitted and hand-written designs:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
-from repro.hdl.bits import Bits, mask
+from repro.hdl.bits import Bits, mask, to_signed
 from repro.verilog import vast
+from repro.verilog.analysis import AnalysisError, ModuleAnalysis
+from repro.verilog.compile_sim import KernelTemplate, get_kernel
 
 
 class SimulationError(Exception):
@@ -25,6 +44,9 @@ class SimulationError(Exception):
 
 
 _MAX_SETTLE_ITERATIONS = 256
+
+_BACKEND_ENV = "REPRO_SIM_BACKEND"
+_BACKENDS = ("auto", "compiled", "interpreter")
 
 
 @dataclass
@@ -36,11 +58,17 @@ class _SignalInfo:
 
 @dataclass
 class Simulation:
-    """Simulate one Verilog module instance."""
+    """Simulate one Verilog module instance.
+
+    ``values`` is the interpreter backend's state and stays empty when the
+    compiled backend is active (state lives in a flat slot list instead);
+    always read signals through :meth:`peek`/:meth:`peek_signed`.
+    """
 
     module: vast.VModule
     signals: dict[str, _SignalInfo] = field(default_factory=dict)
     values: dict[str, Bits] = field(default_factory=dict)
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         for port in self.module.ports:
@@ -53,33 +81,86 @@ class Simulation:
                 self.signals[net.name].signed = self.signals[net.name].signed or net.signed
                 continue
             self.signals[net.name] = _SignalInfo(net.width, net.signed)
-        for name, info in self.signals.items():
-            self.values[name] = Bits(0, info.width, info.signed)
+
+        resolved = self.backend
+        if resolved == "auto":
+            resolved = os.environ.get(_BACKEND_ENV, "auto")
+        if resolved not in _BACKENDS:
+            raise SimulationError(
+                f"unknown simulation backend {resolved!r}; expected one of {_BACKENDS}"
+            )
+        self._kernel: KernelTemplate | None = None
+        self._state: list[int] | None = None
+        self._needs_settle = False
+        # Lazily-built memoized static analysis for the interpreter path.
+        self._analysis: ModuleAnalysis | None = None
+        if resolved in ("auto", "compiled"):
+            kernel = get_kernel(self.module)
+            if kernel is None and resolved == "compiled":
+                raise SimulationError(
+                    f"module {self.module.name} is outside the compiled backend's "
+                    "subset (combinational cycle, multiple drivers, or an "
+                    "unsupported construct); use backend='auto' to fall back"
+                )
+            if kernel is not None:
+                self._kernel = kernel
+                self._state = kernel.new_state()
+        if self._kernel is None:
+            for name, info in self.signals.items():
+                self.values[name] = Bits(0, info.width, info.signed)
         self.settle()
+
+    @property
+    def backend_in_use(self) -> str:
+        """Which backend actually runs this instance."""
+        return "compiled" if self._kernel is not None else "interpreter"
 
     # ------------------------------------------------------------------ access
 
-    def poke(self, name: str, value: int) -> None:
-        """Drive an input (or force any signal) to ``value`` and re-settle."""
-        info = self._info(name)
-        self.values[name] = Bits(value, info.width, info.signed)
-        self.settle()
+    def poke(self, name: str, value: int, settle: bool = True) -> None:
+        """Drive an input (or force any signal) to ``value``.
 
-    def poke_many(self, assignments: dict[str, int]) -> None:
-        for name, value in assignments.items():
-            info = self._info(name)
+        With ``settle=False`` the combinational update is deferred until the
+        next read, step or explicit :meth:`settle` — batching several writes
+        (or a write that is immediately followed by a clock edge) into one
+        settle pass.
+        """
+        info = self._info(name)
+        if self._kernel is not None:
+            meta = self._kernel.slots[name]
+            self._state[meta.slot] = value & meta.mask
+        else:
             self.values[name] = Bits(value, info.width, info.signed)
-        self.settle()
+        if settle:
+            self.settle()
+        else:
+            self._needs_settle = True
+
+    def poke_many(self, assignments: dict[str, int], settle: bool = True) -> None:
+        for name, value in assignments.items():
+            self.poke(name, value, settle=False)
+        if settle:
+            self.settle()
 
     def peek(self, name: str) -> int:
         """Read the current (unsigned) value of a signal."""
-        return self.values[self._check_name(name)].value
+        self._settle_if_needed()
+        self._check_name(name)
+        if self._kernel is not None:
+            return self._state[self._kernel.slots[name].slot]
+        return self.values[name].value
 
     def peek_signed(self, name: str) -> int:
-        return self.values[self._check_name(name)].as_int
+        self._settle_if_needed()
+        self._check_name(name)
+        if self._kernel is not None:
+            meta = self._kernel.slots[name]
+            value = self._state[meta.slot]
+            return to_signed(value, meta.width) if meta.signed else value
+        return self.values[name].as_int
 
     def _check_name(self, name: str) -> str:
-        if name not in self.values:
+        if name not in self.signals:
             raise SimulationError(f"unknown signal {name!r} in module {self.module.name}")
         return name
 
@@ -90,8 +171,26 @@ class Simulation:
 
     # ---------------------------------------------------------------- execution
 
+    def _settle_if_needed(self) -> None:
+        if self._needs_settle:
+            self.settle()
+
+    def flush(self) -> None:
+        """Apply any deferred pokes now (no-op if already settled).
+
+        Call before overwriting inputs whose settled effect must be observed —
+        latch-like combinational logic is path-dependent, so a deferred settle
+        that is skipped entirely (rather than merged with an equivalent later
+        one) could change behaviour.
+        """
+        self._settle_if_needed()
+
     def settle(self) -> None:
-        """Propagate combinational logic to a fixed point."""
+        """Propagate combinational logic (one ordered pass, or a fixed point)."""
+        self._needs_settle = False
+        if self._kernel is not None:
+            self._kernel.comb(self._state)
+            return
         for _ in range(_MAX_SETTLE_ITERATIONS):
             changed = False
             for assign in self.module.assigns:
@@ -107,8 +206,21 @@ class Simulation:
         )
 
     def step(self, clock: str = "clock", cycles: int = 1) -> None:
-        """Advance ``cycles`` positive edges of ``clock`` (then re-settle)."""
+        """Advance ``cycles`` positive edges of ``clock``.
+
+        Combinational state is settled before each edge; the settle after the
+        final edge is deferred until the next read.
+        """
+        if self._kernel is not None:
+            edge = self._kernel.steps.get(clock)
+            for _ in range(cycles):
+                self._settle_if_needed()
+                if edge is not None:
+                    edge(self._state)
+                self._needs_settle = True
+            return
         for _ in range(cycles):
+            self._settle_if_needed()
             pending: dict[str, Bits] = {}
             for block in self.module.always_blocks:
                 if block.is_combinational:
@@ -119,7 +231,7 @@ class Simulation:
             for name, value in pending.items():
                 info = self._info(name)
                 self.values[name] = Bits(value.value, info.width, info.signed)
-            self.settle()
+            self._needs_settle = True
 
     # --------------------------------------------------------- block execution
 
@@ -242,53 +354,25 @@ class Simulation:
             return target.msb - target.lsb + 1
         raise SimulationError(f"unsupported assignment target {target!r}")
 
+    def _static_analysis(self) -> ModuleAnalysis:
+        # The same (memoized) static analysis drives both backends: the
+        # compiled codegen and the interpreter must agree on widths and
+        # signedness by construction, not by keeping two copies in sync.
+        if self._analysis is None:
+            self._analysis = ModuleAnalysis(self.module)
+        return self._analysis
+
     def self_width(self, expr: vast.VExpr, env: dict[str, Bits]) -> int:
-        if isinstance(expr, vast.VIdent):
-            return self._info(expr.name).width
-        if isinstance(expr, vast.VLiteral):
-            return expr.width if expr.width is not None else 32
-        if isinstance(expr, vast.VUnary):
-            if expr.op in ("&", "|", "^", "~&", "~|", "~^", "!"):
-                return 1
-            return self.self_width(expr.operand, env)
-        if isinstance(expr, vast.VBinary):
-            if expr.op in ("==", "!=", "===", "!==", "<", "<=", ">", ">=", "&&", "||"):
-                return 1
-            if expr.op in ("<<", ">>", "<<<", ">>>"):
-                return self.self_width(expr.left, env)
-            return max(self.self_width(expr.left, env), self.self_width(expr.right, env))
-        if isinstance(expr, vast.VTernary):
-            return max(self.self_width(expr.true_value, env), self.self_width(expr.false_value, env))
-        if isinstance(expr, vast.VConcat):
-            return sum(self.self_width(p, env) for p in expr.parts)
-        if isinstance(expr, vast.VRepeat):
-            return expr.count * self.self_width(expr.value, env)
-        if isinstance(expr, vast.VIndex):
-            return 1
-        if isinstance(expr, vast.VRange):
-            return expr.msb - expr.lsb + 1
-        if isinstance(expr, vast.VCall):
-            return self.self_width(expr.args[0], env)
-        raise SimulationError(f"cannot compute width of {expr!r}")
+        try:
+            return self._static_analysis().width(expr)
+        except AnalysisError as exc:
+            raise SimulationError(str(exc)) from None
 
     def _is_signed(self, expr: vast.VExpr, env: dict[str, Bits]) -> bool:
-        if isinstance(expr, vast.VIdent):
-            return self._info(expr.name).signed
-        if isinstance(expr, vast.VLiteral):
-            return expr.signed
-        if isinstance(expr, vast.VCall):
-            return expr.name == "$signed"
-        if isinstance(expr, vast.VUnary):
-            if expr.op in ("&", "|", "^", "~&", "~|", "~^", "!"):
-                return False
-            return self._is_signed(expr.operand, env)
-        if isinstance(expr, vast.VBinary):
-            if expr.op in ("==", "!=", "===", "!==", "<", "<=", ">", ">=", "&&", "||"):
-                return False
-            return self._is_signed(expr.left, env) and self._is_signed(expr.right, env)
-        if isinstance(expr, vast.VTernary):
-            return self._is_signed(expr.true_value, env) and self._is_signed(expr.false_value, env)
-        return False
+        try:
+            return self._static_analysis().signedness(expr)
+        except AnalysisError as exc:
+            raise SimulationError(str(exc)) from None
 
     def _eval(self, expr: vast.VExpr, env: dict[str, Bits], context: int | None = None) -> Bits:
         width = max(self.self_width(expr, env), context or 0)
