@@ -1,15 +1,18 @@
 #!/usr/bin/env python
-"""Run the toolchain throughput benchmark and write ``BENCH_toolchain.json``.
+"""Run the toolchain + sweep benchmarks and write ``BENCH_toolchain.json``.
 
 Usage::
 
     python benchmarks/run_benchmarks.py [output.json]
 
-The output is pytest-benchmark's JSON format (one entry per benchmark with
-min/mean/stddev/rounds), written to ``BENCH_toolchain.json`` at the repo root
-by default.  Commit-over-commit comparisons then only need to diff that file;
-run it alongside the tier-1 suite when touching the simulator, the Verilog
-frontend or the toolchain facades.
+Covers the raw toolchain throughput (compile + simulate one case) and the
+sweep-engine throughput (quick-scale Table I sweep: serial vs parallel
+executors, cold vs warm result store).  The output is pytest-benchmark's JSON
+format (one entry per benchmark with min/mean/stddev/rounds), written to
+``BENCH_toolchain.json`` at the repo root by default.  Commit-over-commit
+comparisons then only need to diff that file; run it alongside the tier-1
+suite when touching the simulator, the Verilog frontend, the toolchain
+facades or the sweep engine.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ def main(argv: list[str]) -> int:
     return pytest.main(
         [
             os.path.join(root, "benchmarks", "test_toolchain_throughput.py"),
+            os.path.join(root, "benchmarks", "test_sweep_throughput.py"),
             "--benchmark-only",
             f"--benchmark-json={output}",
             "-q",

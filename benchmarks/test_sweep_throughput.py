@@ -1,0 +1,78 @@
+"""Benchmark: sweep-engine throughput on the quick-scale Table I sweep.
+
+Tracks the three regimes the sweep execution engine is built for, recorded
+into ``BENCH_toolchain.json`` by ``python benchmarks/run_benchmarks.py``:
+
+* ``test_sweep_serial_cold`` — jobs=1, empty result store: the baseline cost
+  of executing every work unit;
+* ``test_sweep_parallel_cold`` — jobs=4 over a process pool; asserted
+  bit-identical to the serial run (on a single-core host this records the
+  pool overhead rather than a speedup — the wall-clock delta is the point);
+* ``test_sweep_warm_store`` — a rerun against the persisted store, asserted
+  to execute zero new work units.
+"""
+
+import dataclasses
+
+from conftest import run_once
+
+from repro.experiments import table1
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import EvaluationHarness
+
+PARALLEL_JOBS = 4
+
+_reference_rows = None
+
+
+def _sweep_config(store_path=None, jobs=1) -> ExperimentConfig:
+    return dataclasses.replace(ExperimentConfig.quick(), jobs=jobs, store_path=store_path)
+
+
+def _run_table1(config):
+    harness = EvaluationHarness(config)
+    result = table1.run(config, harness)
+    return result, harness.engine.stats
+
+
+def _rows(result) -> list[tuple]:
+    return [(row.model, row.chisel, row.verilog) for row in result.rows]
+
+
+def _expected_units(config) -> int:
+    harness = EvaluationHarness(config)
+    # chisel + verilog sweeps per model.
+    return 2 * len(config.models) * len(harness.problems()) * config.samples_per_case
+
+
+def _serial_reference() -> list[tuple]:
+    global _reference_rows
+    if _reference_rows is None:
+        result, _ = _run_table1(_sweep_config())
+        _reference_rows = _rows(result)
+    return _reference_rows
+
+
+def test_sweep_serial_cold(benchmark):
+    config = _sweep_config()
+    result, stats = run_once(benchmark, _run_table1, config)
+    assert stats.executed == _expected_units(config)
+    assert _rows(result) == _serial_reference()
+
+
+def test_sweep_parallel_cold(benchmark):
+    config = _sweep_config(jobs=PARALLEL_JOBS)
+    result, stats = run_once(benchmark, _run_table1, config)
+    assert stats.executed == _expected_units(config)
+    assert _rows(result) == _serial_reference()
+
+
+def test_sweep_warm_store(benchmark, tmp_path):
+    store_path = str(tmp_path / "results.jsonl")
+    cold_result, cold_stats = _run_table1(_sweep_config(store_path=store_path))
+    assert cold_stats.executed == _expected_units(_sweep_config())
+
+    result, stats = run_once(benchmark, _run_table1, _sweep_config(store_path=store_path))
+    assert stats.executed == 0
+    assert stats.store_hits == cold_stats.executed
+    assert _rows(result) == _rows(cold_result)

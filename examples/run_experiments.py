@@ -3,15 +3,25 @@
 
 Usage:
     python examples/run_experiments.py table1 table3
-    python examples/run_experiments.py all
+    python examples/run_experiments.py all --jobs 4
+    python examples/run_experiments.py all --no-store
     REPRO_FULL_EVAL=1 python examples/run_experiments.py all   # paper-scale sweep
 
-Without ``REPRO_FULL_EVAL=1`` the quick configuration (a suite-balanced subset
-of cases, 2 samples per case) is used so every experiment finishes in seconds
-to a couple of minutes.
+Without ``REPRO_FULL_EVAL=1`` the quick configuration (a family-stratified
+subset of cases, 2 samples per case) is used so every experiment finishes in
+seconds to a couple of minutes.
+
+Every sweep runs through the sweep execution engine (work units → executor →
+result store, see EXPERIMENTS.md): ``--jobs N`` fans work units out over N
+worker processes, and completed units are persisted to ``--store`` (a
+JSON-lines file, default ``.repro-cache/results.jsonl``) so reruns and
+overlapping experiments — Table III, Table IV, Fig. 6 and Fig. 7 share their
+ReChisel sweeps — reuse results instead of recomputing, and interrupted runs
+resume.  ``--no-store`` keeps everything in memory.
 """
 
 import argparse
+import dataclasses
 import os
 import sys
 import time
@@ -19,10 +29,11 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.experiments import fig1, fig6, fig7, fig8_case_study, table1, table2, table3, table4
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import RESULT_STORE_ENV, ExperimentConfig
 from repro.experiments.runner import EvaluationHarness
 
 EXPERIMENTS = ("table1", "table2", "table3", "table4", "fig1", "fig6", "fig7", "fig8")
+DEFAULT_STORE = os.path.join(".repro-cache", "results.jsonl")
 
 
 def main() -> None:
@@ -33,26 +44,48 @@ def main() -> None:
         choices=EXPERIMENTS + ("all",),
         help="which tables/figures to regenerate",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the sweep engine (default: REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        help=f"path of the persistent result store (default: REPRO_RESULT_STORE or {DEFAULT_STORE})",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the persistent result store (in-memory memoization only)",
+    )
     args = parser.parse_args()
     selected = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
 
     config = ExperimentConfig.from_environment()
+    if args.jobs is not None:
+        config = dataclasses.replace(config, jobs=max(1, args.jobs))
+    if args.no_store:
+        config = dataclasses.replace(config, store_path=None)
+    elif args.store is not None:
+        config = dataclasses.replace(config, store_path=args.store)
+    elif config.store_path is None and os.environ.get(RESULT_STORE_ENV) is None:
+        # Default the quickstart path to a persistent store — but an explicit
+        # REPRO_RESULT_STORE=off/0/none stays disabled.
+        config = dataclasses.replace(config, store_path=DEFAULT_STORE)
+
     harness = EvaluationHarness(config)
     scale = "paper-scale" if config.max_cases is None else "quick-scale"
+    store_label = config.store_path or "disabled"
     print(
         f"Configuration: {scale} — {len(harness.problems())} cases, "
-        f"{config.samples_per_case} samples/case, {config.max_iterations} max iterations\n"
+        f"{config.samples_per_case} samples/case, {config.max_iterations} max iterations, "
+        f"jobs={config.jobs}, store={store_label}\n"
     )
 
-    # Reflection runs are shared between Table III, Table IV, Fig. 6 and Fig. 7.
-    table3_result = None
-
-    def rechisel_runs():
-        nonlocal table3_result
-        if table3_result is None:
-            table3_result = table3.run(config, harness)
-        return table3_result
-
+    # The engine memoizes work units, so the ReChisel sweeps shared by
+    # Table III, Table IV, Fig. 6 and Fig. 7 are computed exactly once.
     for name in selected:
         start = time.time()
         if name == "table1":
@@ -60,23 +93,27 @@ def main() -> None:
         elif name == "table2":
             output = table2.run().render()
         elif name == "table3":
-            output = rechisel_runs().render()
+            output = table3.run(config, harness).render()
         elif name == "table4":
-            output = table4.run(config, harness, rechisel_cases=rechisel_runs().raw).render()
+            output = table4.run(config, harness).render()
         elif name == "fig1":
             output = fig1.run(config, harness).render()
         elif name == "fig6":
-            output = fig6.run(config, harness, rechisel_cases=rechisel_runs().raw).render()
+            output = fig6.run(config, harness).render()
         elif name == "fig7":
-            from repro.llm.profiles import GPT4O
-
-            cases = rechisel_runs().raw.get(GPT4O)
-            output = fig7.run(config, harness, rechisel_cases=cases).render()
+            output = fig7.run(config, harness).render()
         else:
             output = fig8_case_study.run().render()
         elapsed = time.time() - start
         print(output)
         print(f"[{name} regenerated in {elapsed:.1f}s]\n")
+
+    stats = harness.engine.stats
+    print(
+        f"Sweep engine: {stats.executed} work units executed, "
+        f"{stats.memo_hits} in-memory hits, {stats.store_hits} store hits"
+    )
+    harness.engine.close()
 
 
 if __name__ == "__main__":

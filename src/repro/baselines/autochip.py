@@ -31,15 +31,32 @@ class AutoChipResult:
     def success_by(self, iteration_cap: int) -> bool:
         return self.success_iteration is not None and self.success_iteration <= iteration_cap
 
+    def to_payload(self) -> dict:
+        """Compact JSON-serializable form for the sweep result store."""
+        return {
+            "success": self.success,
+            "success_iteration": self.success_iteration,
+            "outcomes": list(self.outcomes),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "AutoChipResult":
+        """Rehydrate a stored result (``final_code`` is not restored)."""
+        return cls(
+            success=bool(payload["success"]),
+            success_iteration=payload["success_iteration"],
+            outcomes=[str(outcome) for outcome in payload["outcomes"]],
+        )
+
 
 class AutoChip:
     """Direct Verilog generation with feedback-only reflection."""
 
-    def __init__(self, client: ChatClient, max_iterations: int = 10):
+    def __init__(self, client: ChatClient, max_iterations: int = 10, simulator: Simulator | None = None):
         self.client = client
         self.max_iterations = max_iterations
         self.generator = Generator(client, language="verilog")
-        self.simulator = Simulator(top="TopModule")
+        self.simulator = simulator or Simulator(top="TopModule")
 
     def run(self, problem: Problem, reference_verilog: str, testbench: Testbench | None = None) -> AutoChipResult:
         spec = problem.spec_text()

@@ -26,13 +26,23 @@ class ZeroShotOutcome:
 
 
 class ZeroShotRunner:
-    """Generate once, compile, simulate, classify the error."""
+    """Generate once, compile, simulate, classify the error.
 
-    def __init__(self, client: ChatClient, language: str = "chisel"):
+    ``compiler``/``simulator`` may be shared across runners (the sweep engine's
+    worker context does this so compile/parse caches persist across samples).
+    """
+
+    def __init__(
+        self,
+        client: ChatClient,
+        language: str = "chisel",
+        compiler: ChiselCompiler | None = None,
+        simulator: Simulator | None = None,
+    ):
         self.language = language
         self.generator = Generator(client, language=language)
-        self.compiler = ChiselCompiler(top="TopModule")
-        self.simulator = Simulator(top="TopModule")
+        self.compiler = compiler or ChiselCompiler(top="TopModule")
+        self.simulator = simulator or Simulator(top="TopModule")
 
     def run(self, problem: Problem, reference_verilog: str, seed_suffix: str = "") -> ZeroShotOutcome:
         spec = problem.spec_text()

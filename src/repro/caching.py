@@ -11,6 +11,7 @@ treat them as immutable.
 from __future__ import annotations
 
 import hashlib
+import json
 from collections import OrderedDict
 from typing import Generic, TypeVar
 
@@ -26,6 +27,17 @@ def text_key(*parts: str | None) -> str:
         digest.update(b"\x00" if part is None else part.encode())
         digest.update(b"\x1f")
     return digest.hexdigest()
+
+
+def stable_fingerprint(document: object) -> str:
+    """Content fingerprint of a JSON-serializable document.
+
+    Keys are sorted and separators fixed so the digest is independent of dict
+    insertion order and Python version.  Used by the sweep result store to key
+    work units by their full configuration.
+    """
+    canonical = json.dumps(document, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 class LruCache(Generic[V]):

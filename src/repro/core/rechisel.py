@@ -64,6 +64,34 @@ class ReChiselResult:
                 return record.outcome
         return self.records[0].outcome if self.records else "syntax"
 
+    def to_payload(self) -> dict:
+        """Compact JSON-serializable form for the sweep result store.
+
+        Carries exactly what the experiment aggregations consume (outcomes,
+        iteration counts, escapes) — not the trace or code text, which would
+        dominate the store for no analytical benefit.
+        """
+        return {
+            "success": self.success,
+            "success_iteration": self.success_iteration,
+            "records": [[r.iteration, r.outcome, r.escaped] for r in self.records],
+            "escapes": self.escapes,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ReChiselResult":
+        """Rehydrate a stored result (``trace``/``final_code`` are not restored)."""
+        result = cls(
+            success=bool(payload["success"]),
+            success_iteration=payload["success_iteration"],
+            escapes=int(payload.get("escapes", 0)),
+        )
+        result.records = [
+            IterationRecord(int(iteration), str(outcome), bool(escaped))
+            for iteration, outcome, escaped in payload["records"]
+        ]
+        return result
+
 
 class ReChisel:
     """LLM-based agentic Chisel generation with reflection and escape."""

@@ -6,9 +6,37 @@ paper-scale settings and a quick smoke-test scale are both provided) and
 returns a result object with ``rows``/``series`` data plus a ``render()``
 method that prints the same structure the paper reports, side by side with the
 paper's numbers.
+
+All sweeps execute through the sweep engine (work units → executor → result
+store); see :mod:`repro.experiments.engine` and EXPERIMENTS.md.
 """
 
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.engine import SweepEngine, SweepStats
+from repro.experiments.executors import ParallelExecutor, SerialExecutor
 from repro.experiments.runner import EvaluationHarness
+from repro.experiments.store import ResultStore
+from repro.experiments.strategies import (
+    AutoChipStrategy,
+    ReChiselStrategy,
+    Strategy,
+    ZeroShotStrategy,
+)
+from repro.experiments.work import WorkerContext, WorkUnit, unit_fingerprint
 
-__all__ = ["ExperimentConfig", "EvaluationHarness"]
+__all__ = [
+    "AutoChipStrategy",
+    "EvaluationHarness",
+    "ExperimentConfig",
+    "ParallelExecutor",
+    "ReChiselStrategy",
+    "ResultStore",
+    "SerialExecutor",
+    "Strategy",
+    "SweepEngine",
+    "SweepStats",
+    "WorkUnit",
+    "WorkerContext",
+    "ZeroShotStrategy",
+    "unit_fingerprint",
+]

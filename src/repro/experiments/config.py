@@ -3,11 +3,15 @@
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 
 from repro.llm.profiles import AUTOCHIP_MODELS, PAPER_MODELS
 
 FULL_EVAL_ENV = "REPRO_FULL_EVAL"
+JOBS_ENV = "REPRO_JOBS"
+RESULT_STORE_ENV = "REPRO_RESULT_STORE"
+
+_DISABLED_STORE_VALUES = ("", "0", "off", "no", "none", "false")
 
 
 @dataclass
@@ -20,6 +24,14 @@ class ExperimentConfig:
     benchmark suite is a scaled-down subset; set the ``REPRO_FULL_EVAL=1``
     environment variable (or call :meth:`paper_scale`) to reproduce the full
     runs, as recorded in EXPERIMENTS.md.
+
+    ``jobs`` selects the sweep executor: 1 runs every work unit in-process,
+    >1 fans units out over a process pool (``REPRO_JOBS``); results are
+    bit-identical either way.  ``store_path`` points the engine at a
+    persistent JSON-lines result store (``REPRO_RESULT_STORE``) so repeated
+    and overlapping sweeps reuse completed work units and interrupted runs
+    resume; ``None`` disables persistence (in-process memoization across
+    sweeps still applies).  See EXPERIMENTS.md for the store format.
     """
 
     samples_per_case: int = 10
@@ -28,6 +40,8 @@ class ExperimentConfig:
     models: tuple[str, ...] = PAPER_MODELS
     autochip_models: tuple[str, ...] = AUTOCHIP_MODELS
     seed: int = 0
+    jobs: int = 1
+    store_path: str | None = None
 
     @classmethod
     def paper_scale(cls) -> "ExperimentConfig":
@@ -41,5 +55,19 @@ class ExperimentConfig:
     @classmethod
     def from_environment(cls) -> "ExperimentConfig":
         if os.environ.get(FULL_EVAL_ENV, "").strip() in ("1", "true", "yes"):
-            return cls.paper_scale()
-        return cls.quick()
+            config = cls.paper_scale()
+        else:
+            config = cls.quick()
+        jobs_raw = os.environ.get(JOBS_ENV, "").strip()
+        if jobs_raw:
+            try:
+                jobs = int(jobs_raw)
+            except ValueError:
+                raise ValueError(
+                    f"{JOBS_ENV} must be an integer worker count, got {jobs_raw!r}"
+                ) from None
+            config = replace(config, jobs=max(1, jobs))
+        store_raw = os.environ.get(RESULT_STORE_ENV, "").strip()
+        if store_raw.lower() not in _DISABLED_STORE_VALUES:
+            config = replace(config, store_path=store_raw)
+        return config

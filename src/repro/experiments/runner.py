@@ -1,17 +1,32 @@
-"""Shared evaluation machinery for the experiment runners."""
+"""Shared evaluation machinery for the experiment runners.
+
+:class:`EvaluationHarness` keeps its historical sweep API (``run_zero_shot`` /
+``run_rechisel`` / ``run_autochip``) but no longer owns any loops: each sweep
+is decomposed into :class:`~repro.experiments.work.WorkUnit`\\ s and handed to
+the :class:`~repro.experiments.engine.SweepEngine`, which memoizes, persists
+and (for ``config.jobs > 1``) parallelizes them.  Overlapping sweeps across
+experiments — Table III, Table IV, Fig. 6, Fig. 7 and the ablations all need
+ReChisel runs — therefore share work automatically.
+"""
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 
-from repro.baselines.autochip import AutoChip, AutoChipResult
-from repro.baselines.zero_shot import ZeroShotRunner
-from repro.core.rechisel import ReChisel, ReChiselResult
+from repro.baselines.autochip import AutoChipResult
+from repro.core.rechisel import ReChiselResult
 from repro.experiments.config import ExperimentConfig
-from repro.llm.profiles import MODEL_PROFILES
-from repro.llm.synthetic import SyntheticChiselLLM
+from repro.experiments.engine import SweepEngine, chunk_by_case
+from repro.experiments.strategies import (
+    AutoChipStrategy,
+    ReChiselStrategy,
+    Strategy,
+    ZeroShotStrategy,
+)
+from repro.experiments.work import WorkUnit
 from repro.problems.base import Problem
-from repro.problems.registry import ProblemRegistry, build_default_registry
+from repro.problems.registry import ProblemRegistry
 from repro.toolchain.compiler import ChiselCompiler
 
 
@@ -47,62 +62,123 @@ class AutoChipCase:
         return sum(1 for result in self.results if result.success_by(iteration_cap))
 
 
+def problem_family(problem: Problem) -> str:
+    """The problem's family: its suite plus the id with parameters stripped.
+
+    ``alu_w4``/``alu_w8`` are one family; ``sequence_detector_101`` in HDLBits
+    and ``sequence_detector_0110`` in RTLLM are distinct (different suites).
+    """
+    return f"{problem.suite}:{re.sub(r'[0-9]+', '', problem.problem_id)}"
+
+
+def _largest_remainder_quotas(sizes: dict[str, int], budget: int) -> dict[str, int]:
+    """Apportion ``budget`` across groups proportionally to their sizes.
+
+    Largest-remainder method: every group's quota is within one of its exact
+    proportional share.  Ties break on group insertion order (deterministic).
+    """
+    total = sum(sizes.values())
+    shares = {group: size * budget / total for group, size in sizes.items()}
+    quotas = {group: int(share) for group, share in shares.items()}
+    position = {group: order for order, group in enumerate(sizes)}
+    by_remainder = sorted(sizes, key=lambda group: (quotas[group] - shares[group], position[group]))
+    for group in by_remainder[: budget - sum(quotas.values())]:
+        quotas[group] += 1
+    return quotas
+
+
+def stratified_subset(problems: list[Problem], max_cases: int) -> list[Problem]:
+    """A deterministic ``max_cases``-sized subset, stratified per family.
+
+    Two-level apportionment: the budget splits across suites first (so even a
+    tiny subset touches every suite), then across problem families within each
+    suite, both by largest remainder; within a family the picks are evenly
+    strided.  Output preserves the original problem order.
+    """
+    suites: dict[str, dict[str, list[int]]] = {}
+    for index, problem in enumerate(problems):
+        families = suites.setdefault(problem.suite, {})
+        families.setdefault(problem_family(problem), []).append(index)
+
+    suite_sizes = {
+        suite: sum(len(members) for members in families.values())
+        for suite, families in suites.items()
+    }
+    suite_quotas = _largest_remainder_quotas(suite_sizes, max_cases)
+
+    chosen: list[int] = []
+    for suite, families in suites.items():
+        family_sizes = {family: len(members) for family, members in families.items()}
+        family_quotas = _largest_remainder_quotas(family_sizes, suite_quotas[suite])
+        for family, members in families.items():
+            quota = family_quotas[family]
+            chosen.extend(members[(pick * len(members)) // quota] for pick in range(quota))
+    return [problems[index] for index in sorted(chosen)]
+
+
 class EvaluationHarness:
     """Runs the baseline / ReChisel / AutoChip sweeps behind every experiment."""
 
-    def __init__(self, config: ExperimentConfig, registry: ProblemRegistry | None = None):
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        registry: ProblemRegistry | None = None,
+        engine: SweepEngine | None = None,
+    ):
         self.config = config
-        self.registry = registry or build_default_registry()
-        # One shared compiler with a large result cache: identical candidate
-        # Chisel recurs across samples and iterations (the synthetic LLM draws
-        # from a finite fault space), so most compiles in a sweep are repeats.
-        self.compiler = ChiselCompiler(top="TopModule", cache_size=1024)
-        self._references: dict[str, str] = {}
+        self.engine = engine or SweepEngine(config, registry=registry)
+        self.registry = self.engine.registry
+
+    @property
+    def compiler(self) -> ChiselCompiler:
+        """The serial worker context's compiler (shared caches, back-compat)."""
+        return self.engine.context.compiler
 
     # ----------------------------------------------------------------- inputs
 
     def problems(self) -> list[Problem]:
         problems = list(self.registry)
         if self.config.max_cases is not None and self.config.max_cases < len(problems):
-            # Deterministic, suite-balanced subset: take every k-th problem.
-            stride = max(1, len(problems) // self.config.max_cases)
-            problems = problems[::stride][: self.config.max_cases]
+            problems = stratified_subset(problems, self.config.max_cases)
         return problems
 
     def reference_verilog(self, problem: Problem) -> str:
-        if problem.problem_id not in self._references:
-            result = self.compiler.compile(problem.golden_chisel)
-            if not result.success or result.verilog is None:
-                raise RuntimeError(
-                    f"golden solution for {problem.problem_id} failed to compile:\n"
-                    f"{result.render_feedback()}"
-                )
-            self._references[problem.problem_id] = result.verilog
-        return self._references[problem.problem_id]
-
-    def client_for(self, model: str, seed_offset: int = 0) -> SyntheticChiselLLM:
-        return SyntheticChiselLLM(
-            self.registry,
-            MODEL_PROFILES[model],
-            seed=self.config.seed + seed_offset,
-            compiler=self.compiler,
-            golden_verilog_cache=self._references,
-        )
+        return self.engine.context.reference_verilog(problem)
 
     # ------------------------------------------------------------------ sweeps
 
+    def _sweep(self, strategy: Strategy, model: str) -> list[tuple[Problem, list[object]]]:
+        """Decompose one sweep into units, run them, rehydrate per-case results."""
+        problems = self.problems()
+        knobs = strategy.knob_items()
+        max_iterations = self.config.max_iterations if strategy.name != "zero_shot" else 0
+        units = [
+            WorkUnit(
+                strategy=strategy.name,
+                model=model,
+                problem_id=problem.problem_id,
+                case_index=case_index,
+                sample=sample,
+                seed=self.config.seed,
+                max_iterations=max_iterations,
+                knobs=knobs,
+            )
+            for case_index, problem in enumerate(problems)
+            for sample in range(self.config.samples_per_case)
+        ]
+        payloads = self.engine.run(units)
+        grouped = chunk_by_case(payloads, self.config.samples_per_case)
+        return [
+            (problem, [strategy.rehydrate(payload) for payload in case_payloads])
+            for problem, case_payloads in zip(problems, grouped)
+        ]
+
     def run_zero_shot(self, model: str, language: str) -> list[ZeroShotCase]:
         """Zero-shot sweep: ``samples_per_case`` independent attempts per case."""
-        cases: list[ZeroShotCase] = []
-        for case_index, problem in enumerate(self.problems()):
-            reference = self.reference_verilog(problem)
-            case = ZeroShotCase(problem.problem_id)
-            for sample in range(self.config.samples_per_case):
-                client = self.client_for(model, seed_offset=1000 * case_index + sample)
-                runner = ZeroShotRunner(client, language=language)
-                case.outcomes.append(runner.run(problem, reference).outcome)
-            cases.append(case)
-        return cases
+        return [
+            ZeroShotCase(problem.problem_id, outcomes=list(outcomes))
+            for problem, outcomes in self._sweep(ZeroShotStrategy(language), model)
+        ]
 
     def run_rechisel(
         self,
@@ -112,37 +188,19 @@ class EvaluationHarness:
         feedback_detail: str = "full",
     ) -> list[ReflectionCase]:
         """Full ReChisel sweep with the configured iteration cap."""
-        cases: list[ReflectionCase] = []
-        for case_index, problem in enumerate(self.problems()):
-            reference = self.reference_verilog(problem)
-            case = ReflectionCase(problem.problem_id)
-            testbench = problem.build_testbench()
-            spec = problem.spec_text()
-            for sample in range(self.config.samples_per_case):
-                client = self.client_for(model, seed_offset=1000 * case_index + sample)
-                workflow = ReChisel(
-                    client,
-                    max_iterations=self.config.max_iterations,
-                    enable_escape=enable_escape,
-                    use_knowledge=use_knowledge,
-                    feedback_detail=feedback_detail,
-                )
-                case.results.append(
-                    workflow.run(spec, testbench, reference, case_id=problem.problem_id)
-                )
-            cases.append(case)
-        return cases
+        strategy = ReChiselStrategy(
+            enable_escape=enable_escape,
+            use_knowledge=use_knowledge,
+            feedback_detail=feedback_detail,
+        )
+        return [
+            ReflectionCase(problem.problem_id, results=list(results))
+            for problem, results in self._sweep(strategy, model)
+        ]
 
     def run_autochip(self, model: str) -> list[AutoChipCase]:
         """AutoChip sweep (direct Verilog generation with feedback)."""
-        cases: list[AutoChipCase] = []
-        for case_index, problem in enumerate(self.problems()):
-            reference = self.reference_verilog(problem)
-            case = AutoChipCase(problem.problem_id)
-            testbench = problem.build_testbench()
-            for sample in range(self.config.samples_per_case):
-                client = self.client_for(model, seed_offset=1000 * case_index + sample)
-                runner = AutoChip(client, max_iterations=self.config.max_iterations)
-                case.results.append(runner.run(problem, reference, testbench))
-            cases.append(case)
-        return cases
+        return [
+            AutoChipCase(problem.problem_id, results=list(results))
+            for problem, results in self._sweep(AutoChipStrategy(), model)
+        ]

@@ -1,0 +1,96 @@
+"""Persistent, append-only result store for sweep work units.
+
+One JSON object per line, keyed by the unit's content fingerprint (see
+:func:`~repro.experiments.work.unit_fingerprint`).  Append-only writes with a
+flush per record make the store crash-tolerant: a sweep killed mid-run keeps
+every completed unit, and the loader skips a torn trailing line, so rerunning
+the sweep resumes exactly where it stopped.  Lines carry the payload schema
+version; stores written by an incompatible engine are ignored, not misread.
+
+The store is written only from the engine's coordinating process (pool workers
+stream payloads back rather than writing), so no file locking is needed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO
+
+from repro.experiments.work import PAYLOAD_VERSION, WorkUnit
+
+
+class ResultStore:
+    """A fingerprint-keyed JSON-lines store of work-unit payloads."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self._records: dict[str, dict] = {}
+        self._handle: IO[str] | None = None
+        self._load()
+
+    # ------------------------------------------------------------------- load
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A torn trailing line from an interrupted run; everything
+                    # before it is intact, so just skip it.
+                    continue
+                if record.get("v") != PAYLOAD_VERSION:
+                    continue
+                fingerprint = record.get("fp")
+                payload = record.get("payload")
+                if isinstance(fingerprint, str) and isinstance(payload, dict):
+                    self._records[fingerprint] = payload
+
+    # ------------------------------------------------------------------ access
+
+    def get(self, fingerprint: str) -> dict | None:
+        return self._records.get(fingerprint)
+
+    def put(self, fingerprint: str, unit: WorkUnit, payload: dict) -> None:
+        """Record one completed unit; durable as soon as this returns."""
+        if fingerprint in self._records:
+            return
+        self._records[fingerprint] = payload
+        record = {
+            "v": PAYLOAD_VERSION,
+            "fp": fingerprint,
+            "strategy": unit.strategy,
+            "model": unit.model,
+            "problem_id": unit.problem_id,
+            "sample": unit.sample,
+            "payload": payload,
+        }
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,154 @@
+"""The three evaluation flows behind every sweep, as one ``Strategy`` interface.
+
+The harness historically carried three copy-pasted loops (zero-shot, ReChisel,
+AutoChip).  Each is now a :class:`Strategy`: it knows how to *execute* one
+:class:`~repro.experiments.work.WorkUnit` inside a worker context and return a
+compact JSON-serializable payload, and how to *rehydrate* that payload into
+the per-sample result object the experiment aggregations consume.  The payload
+round-trip is what lets the persistent result store and the process-pool
+executor carry results across process and run boundaries.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.baselines.autochip import AutoChip, AutoChipResult
+from repro.baselines.zero_shot import ZeroShotRunner
+from repro.core.rechisel import ReChisel, ReChiselResult
+from repro.experiments.work import (
+    STRATEGY_AUTOCHIP,
+    STRATEGY_RECHISEL,
+    STRATEGY_ZERO_SHOT,
+    WorkerContext,
+    WorkUnit,
+)
+
+
+class Strategy(ABC):
+    """One evaluation flow: how to run a single (problem, sample) cell."""
+
+    name: str
+
+    def knobs(self) -> dict[str, object]:
+        """The strategy's configuration knobs (folded into unit fingerprints)."""
+        return {}
+
+    def knob_items(self) -> tuple[tuple[str, object], ...]:
+        return tuple(sorted(self.knobs().items()))
+
+    @abstractmethod
+    def execute(self, context: WorkerContext, unit: WorkUnit) -> dict:
+        """Run one unit to completion and return its payload."""
+
+    @abstractmethod
+    def rehydrate(self, payload: dict) -> object:
+        """Turn a (possibly stored) payload back into a per-sample result."""
+
+
+class ZeroShotStrategy(Strategy):
+    """One generation, no reflection; Chisel or Verilog target."""
+
+    name = STRATEGY_ZERO_SHOT
+
+    def __init__(self, language: str = "chisel"):
+        self.language = language
+
+    def knobs(self) -> dict[str, object]:
+        return {"language": self.language}
+
+    def execute(self, context: WorkerContext, unit: WorkUnit) -> dict:
+        problem = context.problem(unit.problem_id)
+        reference = context.reference_verilog(problem)
+        runner = ZeroShotRunner(
+            context.client_for(unit),
+            language=self.language,
+            compiler=context.compiler,
+            simulator=context.simulator,
+        )
+        return {"outcome": runner.run(problem, reference).outcome}
+
+    def rehydrate(self, payload: dict) -> str:
+        return payload["outcome"]
+
+
+class ReChiselStrategy(Strategy):
+    """The full reflection workflow, including the ablation knobs."""
+
+    name = STRATEGY_RECHISEL
+
+    def __init__(
+        self,
+        enable_escape: bool = True,
+        use_knowledge: bool = True,
+        feedback_detail: str = "full",
+    ):
+        self.enable_escape = enable_escape
+        self.use_knowledge = use_knowledge
+        self.feedback_detail = feedback_detail
+
+    def knobs(self) -> dict[str, object]:
+        return {
+            "enable_escape": self.enable_escape,
+            "use_knowledge": self.use_knowledge,
+            "feedback_detail": self.feedback_detail,
+        }
+
+    def execute(self, context: WorkerContext, unit: WorkUnit) -> dict:
+        problem = context.problem(unit.problem_id)
+        reference = context.reference_verilog(problem)
+        workflow = ReChisel(
+            context.client_for(unit),
+            max_iterations=unit.max_iterations,
+            enable_escape=self.enable_escape,
+            use_knowledge=self.use_knowledge,
+            feedback_detail=self.feedback_detail,
+            compiler=context.compiler,
+            simulator=context.simulator,
+        )
+        result = workflow.run(
+            problem.spec_text(), problem.build_testbench(), reference, case_id=problem.problem_id
+        )
+        return result.to_payload()
+
+    def rehydrate(self, payload: dict) -> ReChiselResult:
+        return ReChiselResult.from_payload(payload)
+
+
+class AutoChipStrategy(Strategy):
+    """Direct Verilog generation with raw tool feedback (Table IV baseline)."""
+
+    name = STRATEGY_AUTOCHIP
+
+    def execute(self, context: WorkerContext, unit: WorkUnit) -> dict:
+        problem = context.problem(unit.problem_id)
+        reference = context.reference_verilog(problem)
+        runner = AutoChip(
+            context.client_for(unit),
+            max_iterations=unit.max_iterations,
+            simulator=context.simulator,
+        )
+        return runner.run(problem, reference, problem.build_testbench()).to_payload()
+
+    def rehydrate(self, payload: dict) -> AutoChipResult:
+        return AutoChipResult.from_payload(payload)
+
+
+def strategy_from_unit(unit: WorkUnit) -> Strategy:
+    """Reconstruct the strategy named by a unit (used inside pool workers)."""
+    if unit.strategy == STRATEGY_ZERO_SHOT:
+        return ZeroShotStrategy(language=str(unit.knob("language", "chisel")))
+    if unit.strategy == STRATEGY_RECHISEL:
+        return ReChiselStrategy(
+            enable_escape=bool(unit.knob("enable_escape", True)),
+            use_knowledge=bool(unit.knob("use_knowledge", True)),
+            feedback_detail=str(unit.knob("feedback_detail", "full")),
+        )
+    if unit.strategy == STRATEGY_AUTOCHIP:
+        return AutoChipStrategy()
+    raise ValueError(f"unknown strategy {unit.strategy!r}")
+
+
+def execute_unit(context: WorkerContext, unit: WorkUnit) -> dict:
+    """Execute one unit in the given context; the executor entry point."""
+    return strategy_from_unit(unit).execute(context, unit)

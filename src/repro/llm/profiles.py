@@ -27,7 +27,7 @@ error mixes shift per iteration) emerge from the reflection loop itself.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 GPT4_TURBO = "GPT-4 Turbo"
 GPT4O = "GPT-4o"
@@ -62,6 +62,14 @@ class ModelProfile:
         if error_kind == "functional":
             return self.functional_fix_prob
         return self.chisel_fix_prob
+
+    def fingerprint(self) -> dict[str, float | str]:
+        """Stable field dump for work-unit fingerprints.
+
+        Sweep results depend on every calibrated parameter, so recalibrating a
+        profile must invalidate the persistent result store for that model.
+        """
+        return asdict(self)
 
 
 MODEL_PROFILES: dict[str, ModelProfile] = {

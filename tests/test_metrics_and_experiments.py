@@ -153,6 +153,10 @@ class TestExperimentRunners:
         assert ExperimentConfig.paper_scale().samples_per_case == 10
 
     def test_harness_problem_subsetting(self):
-        assert len(HARNESS.problems()) <= TINY.max_cases
+        subset = HARNESS.problems()
+        assert len(subset) == TINY.max_cases
+        # The stratified subset is deterministic and spans all three suites.
+        assert [p.problem_id for p in subset] == [p.problem_id for p in HARNESS.problems()]
+        assert {p.suite for p in subset} == {p.suite for p in HARNESS.registry}
         full = EvaluationHarness(ExperimentConfig.paper_scale())
         assert len(full.problems()) == 216
