@@ -5,9 +5,11 @@ Usage::
 
     python benchmarks/run_benchmarks.py [output.json]
 
-Covers the raw toolchain throughput (compile + simulate one case) and the
+Covers the raw toolchain throughput (compile + simulate one case), the
 sweep-engine throughput (quick-scale Table I sweep: serial vs parallel
-executors, cold vs warm result store).  The output is pytest-benchmark's JSON
+executors, cold vs warm result store) and the generation-service throughput
+(serial latency baseline vs concurrency-32 service vs warm result cache).
+The output is pytest-benchmark's JSON
 format (one entry per benchmark with min/mean/stddev/rounds), written to
 ``BENCH_toolchain.json`` at the repo root by default.  Commit-over-commit
 comparisons then only need to diff that file; run it alongside the tier-1
@@ -33,6 +35,7 @@ def main(argv: list[str]) -> int:
         [
             os.path.join(root, "benchmarks", "test_toolchain_throughput.py"),
             os.path.join(root, "benchmarks", "test_sweep_throughput.py"),
+            os.path.join(root, "benchmarks", "test_service_throughput.py"),
             "--benchmark-only",
             f"--benchmark-json={output}",
             "-q",

@@ -17,7 +17,8 @@ worker processes, and completed units are persisted to ``--store`` (a
 JSON-lines file, default ``.repro-cache/results.jsonl``) so reruns and
 overlapping experiments — Table III, Table IV, Fig. 6 and Fig. 7 share their
 ReChisel sweeps — reuse results instead of recomputing, and interrupted runs
-resume.  ``--no-store`` keeps everything in memory.
+resume.  ``--no-store`` keeps everything in memory, and ``--progress`` prints
+live ``done/total`` work-unit counts as each sweep advances.
 """
 
 import argparse
@@ -34,6 +35,12 @@ from repro.experiments.runner import EvaluationHarness
 
 EXPERIMENTS = ("table1", "table2", "table3", "table4", "fig1", "fig6", "fig7", "fig8")
 DEFAULT_STORE = os.path.join(".repro-cache", "results.jsonl")
+
+
+def _print_progress(done: int, total: int) -> None:
+    """Live per-unit sweep progress (``--progress``); one line per sweep."""
+    end = "\n" if done == total else ""
+    print(f"\r  [sweep] {done}/{total} work units", end=end, flush=True)
 
 
 def main() -> None:
@@ -60,6 +67,11 @@ def main() -> None:
         action="store_true",
         help="disable the persistent result store (in-memory memoization only)",
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print live done/total counts as the sweep engine completes work units",
+    )
     args = parser.parse_args()
     selected = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
 
@@ -76,6 +88,8 @@ def main() -> None:
         config = dataclasses.replace(config, store_path=DEFAULT_STORE)
 
     harness = EvaluationHarness(config)
+    if args.progress:
+        harness.engine.progress = _print_progress
     scale = "paper-scale" if config.max_cases is None else "quick-scale"
     store_label = config.store_path or "disabled"
     print(

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.generator import Generator
+from repro.core.session import LLMCall, Session, ToolCall, drive
 from repro.llm.client import ChatClient
 from repro.problems.base import Problem
 from repro.sim.testbench import Testbench
@@ -52,19 +53,26 @@ class AutoChipResult:
 class AutoChip:
     """Direct Verilog generation with feedback-only reflection."""
 
-    def __init__(self, client: ChatClient, max_iterations: int = 10, simulator: Simulator | None = None):
+    def __init__(self, client: ChatClient | None, max_iterations: int = 10, simulator: Simulator | None = None):
         self.client = client
         self.max_iterations = max_iterations
         self.generator = Generator(client, language="verilog")
         self.simulator = simulator or Simulator(top="TopModule")
 
     def run(self, problem: Problem, reference_verilog: str, testbench: Testbench | None = None) -> AutoChipResult:
+        return drive(self.session(problem, reference_verilog, testbench), self.client)
+
+    def session(
+        self, problem: Problem, reference_verilog: str, testbench: Testbench | None = None
+    ) -> Session:
+        """The AutoChip loop as a step-wise generator (see :mod:`repro.core.session`)."""
         spec = problem.spec_text()
         testbench = testbench or problem.build_testbench()
         result = AutoChipResult(success=False, success_iteration=None)
 
-        code = self.generator.generate(spec, problem.problem_id)
-        outcome, feedback = self._evaluate(code, reference_verilog, testbench)
+        response = yield LLMCall(self.generator.generation_messages(spec, problem.problem_id), "generate")
+        code = self.generator.parse(response)
+        outcome, feedback = yield from self._evaluate_steps(code, reference_verilog, testbench)
         result.outcomes.append(outcome)
         result.final_code = code
         if outcome == "success":
@@ -73,8 +81,11 @@ class AutoChip:
 
         for iteration in range(1, self.max_iterations + 1):
             # AutoChip's "revision plan" is simply the raw tool feedback.
-            code = self.generator.revise(spec, code, feedback, problem.problem_id)
-            outcome, feedback = self._evaluate(code, reference_verilog, testbench)
+            response = yield LLMCall(
+                self.generator.revision_messages(spec, code, feedback, problem.problem_id), "revise"
+            )
+            code = self.generator.parse(response)
+            outcome, feedback = yield from self._evaluate_steps(code, reference_verilog, testbench)
             result.outcomes.append(outcome)
             result.final_code = code
             if outcome == "success":
@@ -82,12 +93,21 @@ class AutoChip:
                 break
         return result
 
-    def _evaluate(self, code: str, reference_verilog: str, testbench: Testbench) -> tuple[str, str]:
-        try:
-            parse_verilog(code)
-        except VerilogParseError as exc:
-            return "syntax", f"Verilog compilation failed: {exc}"
-        outcome = self.simulator.simulate(code, reference_verilog, testbench)
+    def _evaluate_steps(self, code: str, reference_verilog: str, testbench: Testbench):
+        error = yield ToolCall(lambda: _parse_error(code), "parse")
+        if error is not None:
+            return "syntax", f"Verilog compilation failed: {error}"
+        outcome = yield ToolCall(
+            lambda: self.simulator.simulate(code, reference_verilog, testbench), "simulate"
+        )
         if outcome.success:
             return "success", "all tests passed"
         return "functional", outcome.render_feedback()
+
+
+def _parse_error(code: str) -> str | None:
+    try:
+        parse_verilog(code)
+    except VerilogParseError as exc:
+        return str(exc)
+    return None

@@ -9,6 +9,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.generator import Generator
+from repro.core.session import LLMCall, Session, ToolCall, drive
 from repro.llm.client import ChatClient
 from repro.problems.base import Problem
 from repro.toolchain.compiler import ChiselCompiler
@@ -34,34 +35,49 @@ class ZeroShotRunner:
 
     def __init__(
         self,
-        client: ChatClient,
+        client: ChatClient | None,
         language: str = "chisel",
         compiler: ChiselCompiler | None = None,
         simulator: Simulator | None = None,
     ):
+        self.client = client
         self.language = language
         self.generator = Generator(client, language=language)
         self.compiler = compiler or ChiselCompiler(top="TopModule")
         self.simulator = simulator or Simulator(top="TopModule")
 
     def run(self, problem: Problem, reference_verilog: str, seed_suffix: str = "") -> ZeroShotOutcome:
+        return drive(self.session(problem, reference_verilog), self.client)
+
+    def session(self, problem: Problem, reference_verilog: str) -> Session:
+        """The zero-shot attempt as a step-wise generator (see :mod:`repro.core.session`)."""
         spec = problem.spec_text()
-        code = self.generator.generate(spec, problem.problem_id)
+        response = yield LLMCall(self.generator.generation_messages(spec, problem.problem_id), "generate")
+        code = self.generator.parse(response)
         testbench = problem.build_testbench()
 
         if self.language == "chisel":
-            compiled = self.compiler.compile(code)
+            compiled = yield ToolCall(lambda: self.compiler.compile(code), "compile")
             if not compiled.success:
                 return ZeroShotOutcome(False, "syntax", code)
             dut_verilog = compiled.verilog or ""
         else:
-            try:
-                parse_verilog(code)
-            except VerilogParseError:
+            parse_ok = yield ToolCall(lambda: _parses(code), "parse")
+            if not parse_ok:
                 return ZeroShotOutcome(False, "syntax", code)
             dut_verilog = code
 
-        outcome = self.simulator.simulate(dut_verilog, reference_verilog, testbench)
+        outcome = yield ToolCall(
+            lambda: self.simulator.simulate(dut_verilog, reference_verilog, testbench), "simulate"
+        )
         if outcome.success:
             return ZeroShotOutcome(True, "success", code)
         return ZeroShotOutcome(False, "functional", code)
+
+
+def _parses(code: str) -> bool:
+    try:
+        parse_verilog(code)
+    except VerilogParseError:
+        return False
+    return True

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from collections import OrderedDict
 from typing import Generic, TypeVar
 
@@ -45,12 +46,19 @@ class LruCache(Generic[V]):
 
     ``max_size`` of 0 (or ``None``) disables storage entirely: every lookup
     misses and :meth:`put` is a no-op.
+
+    Thread-safe: the async generation service shares these caches between the
+    event loop (synthetic-client completions) and its bounded tool executor
+    (compile/simulate offload), so lookups and insertions are lock-guarded.
+    The caches memoize pure functions, so contention only ever costs time —
+    but the guard keeps eviction bookkeeping consistent under interleaving.
     """
 
     def __init__(self, max_size: int | None):
         self.max_size = max_size or 0
         self._data: OrderedDict[str, V] = OrderedDict()
         self.stats = {"hits": 0, "misses": 0}
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._data)
@@ -59,21 +67,24 @@ class LruCache(Generic[V]):
         return key in self._data
 
     def get(self, key: str, default: V | None = None) -> V | None:
-        value = self._data.get(key, _SENTINEL)
-        if value is _SENTINEL:
-            self.stats["misses"] += 1
-            return default
-        self.stats["hits"] += 1
-        self._data.move_to_end(key)
-        return value  # type: ignore[return-value]
+        with self._lock:
+            value = self._data.get(key, _SENTINEL)
+            if value is _SENTINEL:
+                self.stats["misses"] += 1
+                return default
+            self.stats["hits"] += 1
+            self._data.move_to_end(key)
+            return value  # type: ignore[return-value]
 
     def put(self, key: str, value: V) -> V:
-        if self.max_size:
-            self._data[key] = value
-            while len(self._data) > self.max_size:
-                self._data.popitem(last=False)
-        return value
+        with self._lock:
+            if self.max_size:
+                self._data[key] = value
+                while len(self._data) > self.max_size:
+                    self._data.popitem(last=False)
+            return value
 
     def clear(self) -> None:
-        self._data.clear()
-        self.stats.update(hits=0, misses=0)
+        with self._lock:
+            self._data.clear()
+            self.stats.update(hits=0, misses=0)

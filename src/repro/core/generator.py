@@ -3,21 +3,50 @@
 from __future__ import annotations
 
 from repro.llm import prompts
-from repro.llm.client import ChatClient
+from repro.llm.client import ChatClient, ChatMessage
 
 
 class Generator:
-    """Produces Chisel (or Verilog) code from a specification and revision plans."""
+    """Produces Chisel (or Verilog) code from a specification and revision plans.
 
-    def __init__(self, client: ChatClient, language: str = "chisel"):
+    The prompt-building and response-parsing halves are exposed separately
+    (``generation_messages``/``revision_messages`` + ``parse``) so the
+    step-wise sessions in :mod:`repro.core.session` can yield the exact same
+    prompts this agent would send; ``generate``/``revise`` remain the
+    blocking composition of the two.
+    """
+
+    def __init__(self, client: ChatClient | None, language: str = "chisel"):
         self.client = client
         self.language = language
 
+    # ----------------------------------------------------------- prompt halves
+
+    def generation_messages(self, spec: str, case_id: str | None = None) -> list[ChatMessage]:
+        return prompts.generation_prompt(spec, case_id, self.language)
+
+    def revision_messages(
+        self,
+        spec: str,
+        previous_code: str,
+        revision_plan: str,
+        case_id: str | None = None,
+        escaped: bool = False,
+    ) -> list[ChatMessage]:
+        return prompts.revision_prompt(
+            spec, case_id, previous_code, revision_plan, self.language, escaped
+        )
+
+    @staticmethod
+    def parse(response: str) -> str:
+        return prompts.extract_code_block(response)
+
+    # ------------------------------------------------------- blocking entry
+
     def generate(self, spec: str, case_id: str | None = None) -> str:
         """Initial code generation from the specification alone."""
-        messages = prompts.generation_prompt(spec, case_id, self.language)
-        response = self.client.complete(messages)
-        return prompts.extract_code_block(response)
+        response = self.client.complete(self.generation_messages(spec, case_id))
+        return self.parse(response)
 
     def revise(
         self,
@@ -28,8 +57,7 @@ class Generator:
         escaped: bool = False,
     ) -> str:
         """Apply a revision plan to the previous code (one reflection iteration)."""
-        messages = prompts.revision_prompt(
-            spec, case_id, previous_code, revision_plan, self.language, escaped
+        response = self.client.complete(
+            self.revision_messages(spec, previous_code, revision_plan, case_id, escaped)
         )
-        response = self.client.complete(messages)
-        return prompts.extract_code_block(response)
+        return self.parse(response)

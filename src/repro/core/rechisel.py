@@ -22,6 +22,7 @@ from repro.core.feedback import (
 from repro.core.generator import Generator
 from repro.core.inspector import Inspector
 from repro.core.reviewer import Reviewer
+from repro.core.session import LLMCall, Session, ToolCall, drive
 from repro.core.trace import Trace
 from repro.llm.client import ChatClient
 from repro.sim.testbench import DeviceUnderTest, Testbench
@@ -94,11 +95,20 @@ class ReChiselResult:
 
 
 class ReChisel:
-    """LLM-based agentic Chisel generation with reflection and escape."""
+    """LLM-based agentic Chisel generation with reflection and escape.
+
+    The loop itself lives in :meth:`session`, a step-wise generator that
+    yields at every LLM-call and toolchain boundary (see
+    :mod:`repro.core.session`).  :meth:`run` is the classic blocking entry
+    point: it drives the session inline against ``self.client`` and is
+    bit-identical to driving the same session through the async generation
+    service.  ``client`` may be ``None`` for session-only use (the driver
+    supplies completions).
+    """
 
     def __init__(
         self,
-        client: ChatClient,
+        client: ChatClient | None,
         max_iterations: int = 10,
         enable_escape: bool = True,
         use_knowledge: bool = True,
@@ -124,11 +134,31 @@ class ReChisel:
         reference: VModule | str | DeviceUnderTest,
         case_id: str | None = None,
     ) -> ReChiselResult:
+        return drive(self.session(spec, testbench, reference, case_id), self.client)
+
+    # ---------------------------------------------------------------- session
+
+    def session(
+        self,
+        spec: str,
+        testbench: Testbench,
+        reference: VModule | str | DeviceUnderTest,
+        case_id: str | None = None,
+    ) -> Session:
+        """The full agentic loop as a step-wise generator.
+
+        Yields :class:`~repro.core.session.LLMCall` /
+        :class:`~repro.core.session.ToolCall` steps, receives their results,
+        and returns the :class:`ReChiselResult`.  The step sequence is exactly
+        the call sequence of the historical blocking loop, so any driver that
+        answers steps faithfully reproduces it bit-for-bit.
+        """
         trace = Trace()
         result = ReChiselResult(success=False, success_iteration=None, trace=trace)
 
-        code = self.generator.generate(spec, case_id)
-        feedback, verilog = self._evaluate(code, testbench, reference)
+        response = yield LLMCall(self.generator.generation_messages(spec, case_id), "generate")
+        code = self.generator.parse(response)
+        feedback, verilog = yield from self._evaluate_steps(code, testbench, reference)
         self.inspector.record(trace, 0, code, feedback)
         result.records.append(IterationRecord(0, feedback.kind.value))
         result.final_code, result.final_verilog = code, verilog
@@ -139,6 +169,9 @@ class ReChisel:
             return result
 
         for iteration in range(1, self.max_iterations + 1):
+            # The loop check is structural: matching signatures render
+            # identically, so the Inspector's optional LLM confirmation path
+            # never fires here and the call cannot block on a completion.
             detection = self.inspector.check_for_loop(trace, feedback)
             escaped = False
             if detection.detected:
@@ -147,14 +180,19 @@ class ReChisel:
                 if restart is not None:
                     code, feedback = restart.code, restart.feedback
 
-            plan = self.reviewer.review(
+            plan_messages = self.reviewer.review_messages(
                 spec, code, self._trim(feedback), trace, case_id, escaped=escaped
             )
+            plan_text = yield LLMCall(plan_messages, "review")
+            plan = self.reviewer.parse(plan_text, escaped=escaped)
             if trace.last() is not None:
                 trace.last().revision_plan = plan.text
 
-            code = self.generator.revise(spec, code, plan.text, case_id, escaped=escaped)
-            feedback, verilog = self._evaluate(code, testbench, reference)
+            response = yield LLMCall(
+                self.generator.revision_messages(spec, code, plan.text, case_id, escaped), "revise"
+            )
+            code = self.generator.parse(response)
+            feedback, verilog = yield from self._evaluate_steps(code, testbench, reference)
             self.inspector.record(trace, iteration, code, feedback)
             result.records.append(IterationRecord(iteration, feedback.kind.value, escaped))
             result.final_code, result.final_verilog = code, verilog
@@ -169,17 +207,24 @@ class ReChisel:
 
     # ---------------------------------------------------------------- helpers
 
-    def _evaluate(
+    def _evaluate_steps(
         self,
         code: str,
         testbench: Testbench,
         reference: VModule | str | DeviceUnderTest,
-    ) -> tuple[Feedback, str | None]:
-        """Run the two external tools: Compiler (step 2) and Simulator (step 3)."""
-        compile_result = self.compiler.compile(code)
+    ):
+        """Run the two external tools: Compiler (step 2) and Simulator (step 3).
+
+        A sub-generator yielding one :class:`ToolCall` per tool invocation and
+        returning ``(feedback, verilog)``.
+        """
+        compile_result = yield ToolCall(lambda: self.compiler.compile(code), "compile")
         if not compile_result.success:
             return feedback_from_compile(compile_result), None
-        outcome = self.simulator.simulate(compile_result.verilog or "", reference, testbench)
+        outcome = yield ToolCall(
+            lambda: self.simulator.simulate(compile_result.verilog or "", reference, testbench),
+            "simulate",
+        )
         if outcome.success:
             return success_feedback(), compile_result.verilog
         return feedback_from_simulation(outcome), compile_result.verilog

@@ -23,13 +23,42 @@ class Reviewer:
     """Analyses the trace and current feedback and writes a revision plan.
 
     ``use_knowledge`` controls the in-context learning block built from the
-    Table II catalogue (§IV-B); disabling it is the knowledge ablation.
+    Table II catalogue (§IV-B); disabling it is the knowledge ablation.  Like
+    the Generator, the prompt-building half (``review_messages``/``parse``) is
+    exposed for the step-wise sessions; ``review`` is the blocking composition.
     """
 
-    def __init__(self, client: ChatClient, language: str = "chisel", use_knowledge: bool = True):
+    def __init__(self, client: ChatClient | None, language: str = "chisel", use_knowledge: bool = True):
         self.client = client
         self.language = language
         self.use_knowledge = use_knowledge
+
+    def review_messages(
+        self,
+        spec: str,
+        current_code: str,
+        feedback: Feedback,
+        trace: Trace,
+        case_id: str | None = None,
+        escaped: bool = False,
+    ):
+        knowledge_text = "(disabled)"
+        if self.use_knowledge:
+            knowledge_text = render_knowledge(knowledge_for_codes(feedback.error_codes))
+        return prompts.review_prompt(
+            spec,
+            case_id,
+            current_code,
+            feedback.text,
+            trace.summary(),
+            knowledge_text,
+            escaped=escaped,
+            language=self.language,
+        )
+
+    @staticmethod
+    def parse(plan_text: str, escaped: bool = False) -> RevisionPlan:
+        return RevisionPlan(plan_text.strip(), escaped=escaped)
 
     def review(
         self,
@@ -40,18 +69,5 @@ class Reviewer:
         case_id: str | None = None,
         escaped: bool = False,
     ) -> RevisionPlan:
-        knowledge_text = "(disabled)"
-        if self.use_knowledge:
-            knowledge_text = render_knowledge(knowledge_for_codes(feedback.error_codes))
-        messages = prompts.review_prompt(
-            spec,
-            case_id,
-            current_code,
-            feedback.text,
-            trace.summary(),
-            knowledge_text,
-            escaped=escaped,
-            language=self.language,
-        )
-        plan_text = self.client.complete(messages)
-        return RevisionPlan(plan_text.strip(), escaped=escaped)
+        messages = self.review_messages(spec, current_code, feedback, trace, case_id, escaped)
+        return self.parse(self.client.complete(messages), escaped=escaped)

@@ -21,7 +21,7 @@ what the warm-store and resume tests assert against.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.executors import ParallelExecutor, SerialExecutor
@@ -65,6 +65,10 @@ class SweepEngine:
         self._parallel: ParallelExecutor | None = None
         self._memo: dict[str, dict] = {}
         self.stats = SweepStats()
+        #: Optional per-unit completion callback ``(done, total)``; invoked
+        #: for every unit of a batch as it resolves (memo hit, store hit or
+        #: execution), in resolution order.  Used by ``--progress``.
+        self.progress: Callable[[int, int], None] | None = None
 
     @property
     def registry(self) -> ProblemRegistry:
@@ -78,6 +82,8 @@ class SweepEngine:
     def run(self, units: Iterable[WorkUnit]) -> list[dict]:
         """Run a batch of units, returning payloads in submission order."""
         units = list(units)
+        total = len(units)
+        done = 0
         results: list[dict | None] = [None] * len(units)
         pending: list[tuple[WorkUnit, str]] = []
         pending_indices: dict[str, list[int]] = {}
@@ -88,6 +94,7 @@ class SweepEngine:
             if payload is not None:
                 self.stats.memo_hits += 1
                 results[index] = payload
+                done = self._report_progress(done, total)
                 continue
             if self.store is not None:
                 payload = self.store.get(fingerprint)
@@ -95,6 +102,7 @@ class SweepEngine:
                     self.stats.store_hits += 1
                     self._memo[fingerprint] = payload
                     results[index] = payload
+                    done = self._report_progress(done, total)
                     continue
             if fingerprint in pending_indices:
                 # Duplicate unit within one batch: execute once, fill both.
@@ -113,9 +121,16 @@ class SweepEngine:
                     self.store.put(fingerprint, unit, payload)
                 for index in pending_indices[fingerprint]:
                     results[index] = payload
+                    done = self._report_progress(done, total)
                 self.stats.executed += 1
 
         return results  # type: ignore[return-value]
+
+    def _report_progress(self, done: int, total: int) -> int:
+        done += 1
+        if self.progress is not None:
+            self.progress(done, total)
+        return done
 
     # ---------------------------------------------------------------- helpers
 

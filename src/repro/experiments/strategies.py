@@ -16,6 +16,7 @@ from abc import ABC, abstractmethod
 from repro.baselines.autochip import AutoChip, AutoChipResult
 from repro.baselines.zero_shot import ZeroShotRunner
 from repro.core.rechisel import ReChisel, ReChiselResult
+from repro.core.session import Session, ToolCall, drive
 from repro.experiments.work import (
     STRATEGY_AUTOCHIP,
     STRATEGY_RECHISEL,
@@ -26,7 +27,15 @@ from repro.experiments.work import (
 
 
 class Strategy(ABC):
-    """One evaluation flow: how to run a single (problem, sample) cell."""
+    """One evaluation flow: how to run a single (problem, sample) cell.
+
+    Each strategy is defined by its :meth:`session` — a step-wise generator
+    over one work unit (see :mod:`repro.core.session`) that returns the
+    unit's payload.  :meth:`execute` is the blocking mode used by the sweep
+    executors (it drives the session inline against the unit's own seeded
+    client); the async generation service drives the *same* session through
+    its batching dispatcher, which is why the two modes are bit-identical.
+    """
 
     name: str
 
@@ -38,8 +47,13 @@ class Strategy(ABC):
         return tuple(sorted(self.knobs().items()))
 
     @abstractmethod
+    def session(self, context: WorkerContext, unit: WorkUnit, client) -> Session:
+        """A step-wise session running one unit; returns the unit's payload."""
+
     def execute(self, context: WorkerContext, unit: WorkUnit) -> dict:
         """Run one unit to completion and return its payload."""
+        client = context.client_for(unit)
+        return drive(self.session(context, unit, client), client)
 
     @abstractmethod
     def rehydrate(self, payload: dict) -> object:
@@ -57,16 +71,17 @@ class ZeroShotStrategy(Strategy):
     def knobs(self) -> dict[str, object]:
         return {"language": self.language}
 
-    def execute(self, context: WorkerContext, unit: WorkUnit) -> dict:
+    def session(self, context: WorkerContext, unit: WorkUnit, client) -> Session:
         problem = context.problem(unit.problem_id)
-        reference = context.reference_verilog(problem)
+        reference = yield ToolCall(lambda: context.reference_verilog(problem), "reference")
         runner = ZeroShotRunner(
-            context.client_for(unit),
+            client,
             language=self.language,
             compiler=context.compiler,
             simulator=context.simulator,
         )
-        return {"outcome": runner.run(problem, reference).outcome}
+        outcome = yield from runner.session(problem, reference)
+        return {"outcome": outcome.outcome}
 
     def rehydrate(self, payload: dict) -> str:
         return payload["outcome"]
@@ -94,11 +109,11 @@ class ReChiselStrategy(Strategy):
             "feedback_detail": self.feedback_detail,
         }
 
-    def execute(self, context: WorkerContext, unit: WorkUnit) -> dict:
+    def session(self, context: WorkerContext, unit: WorkUnit, client) -> Session:
         problem = context.problem(unit.problem_id)
-        reference = context.reference_verilog(problem)
+        reference = yield ToolCall(lambda: context.reference_verilog(problem), "reference")
         workflow = ReChisel(
-            context.client_for(unit),
+            client,
             max_iterations=unit.max_iterations,
             enable_escape=self.enable_escape,
             use_knowledge=self.use_knowledge,
@@ -106,7 +121,7 @@ class ReChiselStrategy(Strategy):
             compiler=context.compiler,
             simulator=context.simulator,
         )
-        result = workflow.run(
+        result = yield from workflow.session(
             problem.spec_text(), problem.build_testbench(), reference, case_id=problem.problem_id
         )
         return result.to_payload()
@@ -120,15 +135,16 @@ class AutoChipStrategy(Strategy):
 
     name = STRATEGY_AUTOCHIP
 
-    def execute(self, context: WorkerContext, unit: WorkUnit) -> dict:
+    def session(self, context: WorkerContext, unit: WorkUnit, client) -> Session:
         problem = context.problem(unit.problem_id)
-        reference = context.reference_verilog(problem)
+        reference = yield ToolCall(lambda: context.reference_verilog(problem), "reference")
         runner = AutoChip(
-            context.client_for(unit),
+            client,
             max_iterations=unit.max_iterations,
             simulator=context.simulator,
         )
-        return runner.run(problem, reference, problem.build_testbench()).to_payload()
+        result = yield from runner.session(problem, reference, problem.build_testbench())
+        return result.to_payload()
 
     def rehydrate(self, payload: dict) -> AutoChipResult:
         return AutoChipResult.from_payload(payload)

@@ -6,9 +6,28 @@ synthetic backend (:class:`~repro.llm.synthetic.SyntheticChiselLLM`) whose
 behaviour profiles are calibrated against the paper's reported numbers, plus a
 :class:`~repro.llm.client.CallableClient` adapter so a real API can be plugged
 in by passing any ``messages -> text`` callable.
+
+For concurrent serving, :mod:`repro.llm.dispatch` adds the async side: the
+:class:`~repro.llm.dispatch.AsyncChatClient` protocol, adapters for blocking
+clients, and the :class:`~repro.llm.dispatch.BatchingDispatcher` that
+coalesces many sessions' requests into rate-limited micro-batches.
 """
 
-from repro.llm.client import CallableClient, ChatClient, ChatMessage, EchoClient
+from repro.llm.client import (
+    CallableClient,
+    ChatClient,
+    ChatMessage,
+    EchoClient,
+    RecordingClient,
+)
+from repro.llm.dispatch import (
+    AsyncChatClient,
+    BatchingDispatcher,
+    LatencyClient,
+    RetryPolicy,
+    SyncClientAdapter,
+    TokenBucket,
+)
 from repro.llm.profiles import MODEL_PROFILES, ModelProfile, profile_named
 from repro.llm.synthetic import SyntheticChiselLLM
 
@@ -17,6 +36,13 @@ __all__ = [
     "ChatMessage",
     "CallableClient",
     "EchoClient",
+    "RecordingClient",
+    "AsyncChatClient",
+    "BatchingDispatcher",
+    "LatencyClient",
+    "RetryPolicy",
+    "SyncClientAdapter",
+    "TokenBucket",
     "ModelProfile",
     "MODEL_PROFILES",
     "profile_named",

@@ -1,7 +1,15 @@
-"""Chat-client protocol shared by every agent."""
+"""Chat-client protocol shared by every agent.
+
+Clients may now be shared across many interleaved generation sessions (the
+async service multiplexes hundreds on one event loop and offloads toolchain
+steps to worker threads), so the recording clients guard their ``calls``
+lists with a lock: appends from concurrent threads can't tear, and snapshots
+taken while sessions are in flight are consistent.
+"""
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Protocol
 
@@ -37,7 +45,41 @@ class EchoClient:
     def __init__(self, response: str = ""):
         self.response = response
         self.calls: list[list[ChatMessage]] = []
+        self._lock = threading.Lock()
 
     def complete(self, messages: list[ChatMessage]) -> str:
-        self.calls.append(list(messages))
+        with self._lock:
+            self.calls.append(list(messages))
         return self.response
+
+    def call_count(self) -> int:
+        with self._lock:
+            return len(self.calls)
+
+
+class RecordingClient:
+    """Wrap any client, recording every ``(messages, response)`` exchange.
+
+    Safe under concurrent use: the record list is lock-guarded, and
+    :meth:`exchanges` returns a snapshot copy so callers can iterate while
+    other sessions keep completing.
+    """
+
+    def __init__(self, inner: ChatClient):
+        self.inner = inner
+        self.calls: list[tuple[list[ChatMessage], str]] = []
+        self._lock = threading.Lock()
+
+    def complete(self, messages: list[ChatMessage]) -> str:
+        response = self.inner.complete(messages)
+        with self._lock:
+            self.calls.append((list(messages), response))
+        return response
+
+    def call_count(self) -> int:
+        with self._lock:
+            return len(self.calls)
+
+    def exchanges(self) -> list[tuple[list[ChatMessage], str]]:
+        with self._lock:
+            return list(self.calls)

@@ -1,0 +1,388 @@
+"""Async LLM access: the dispatcher that multiplexes many sessions onto one loop.
+
+The blocking :class:`~repro.llm.client.ChatClient` protocol serves one
+session at a time; the async generation service (:mod:`repro.service`) runs
+hundreds.  This module provides the shared machinery between them:
+
+* :class:`AsyncChatClient` — the awaitable twin of ``ChatClient``;
+* :class:`SyncClientAdapter` — lift any blocking client into the async
+  protocol (inline for cheap synthetic backends, via an executor for real
+  network clients);
+* :class:`LatencyClient` — a latency-simulating wrapper used by the service
+  benchmarks and demos to model provider round-trips without burning CPU;
+* :class:`TokenBucket` — an asyncio token-bucket rate limiter;
+* :class:`RetryPolicy` — capped exponential backoff with multiplicative
+  jitter;
+* :class:`BatchingDispatcher` — the heart of the service's LLM layer: it
+  coalesces concurrent completion requests into micro-batches (a short
+  collection window, closed early when the batch fills), applies the rate
+  limiter per batch, caps in-flight batches and per-profile concurrency, and
+  retries transient failures with jittered backoff.
+
+Determinism note: each generation session owns its deterministically seeded
+client, and the dispatcher always answers a request through *that* request's
+client.  Batching therefore changes scheduling and wall-clock only — never
+the text a session receives — which is what makes service results
+bit-identical to blocking runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import random
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.llm.client import ChatClient, ChatMessage
+
+
+class AsyncChatClient(Protocol):
+    """Anything that can asynchronously turn a message list into a completion."""
+
+    async def complete(self, messages: list[ChatMessage]) -> str:  # pragma: no cover - protocol
+        ...
+
+
+class BatchChatClient(Protocol):
+    """A client with a native batch endpoint (one call, many completions)."""
+
+    def complete_batch(self, batches: list[list[ChatMessage]]) -> list[str]:  # pragma: no cover
+        ...
+
+
+class SyncClientAdapter:
+    """Lift a blocking :class:`ChatClient` into the async protocol.
+
+    Without an ``executor`` the wrapped client runs inline on the event loop —
+    correct for the fast synthetic backends this repo ships.  Pass an executor
+    for clients that genuinely block (network APIs) so the loop stays free.
+    """
+
+    def __init__(self, client: ChatClient, executor=None):
+        self.client = client
+        self._executor = executor
+
+    async def complete(self, messages: list[ChatMessage]) -> str:
+        if self._executor is None:
+            return self.client.complete(messages)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, self.client.complete, messages)
+
+
+class LatencyClient:
+    """An async client simulating a provider round-trip before answering.
+
+    Wraps a blocking client and awaits ``latency`` seconds first, so N
+    concurrent requests overlap their waits — the service benchmark uses this
+    to model real API latency without consuming CPU.
+    """
+
+    def __init__(self, inner: ChatClient, latency: float):
+        self.inner = inner
+        self.latency = latency
+
+    async def complete(self, messages: list[ChatMessage]) -> str:
+        if self.latency > 0:
+            await asyncio.sleep(self.latency)
+        return self.inner.complete(messages)
+
+
+class TokenBucket:
+    """Asyncio token-bucket rate limiter (``rate`` tokens/second).
+
+    ``acquire(n)`` waits until ``n`` tokens are available; waiters are served
+    FIFO (an :class:`asyncio.Lock` queues them), so a large batch cannot be
+    starved by a stream of small ones.
+    """
+
+    def __init__(self, rate: float, capacity: float | None = None):
+        if rate <= 0:
+            raise ValueError("rate must be > 0")
+        self.rate = float(rate)
+        self.capacity = float(capacity) if capacity is not None else max(1.0, self.rate)
+        self._tokens = self.capacity
+        self._last: float | None = None
+        self._lock = asyncio.Lock()
+
+    def _refill(self, now: float) -> None:
+        if self._last is not None:
+            self._tokens = min(self.capacity, self._tokens + (now - self._last) * self.rate)
+        self._last = now
+
+    async def acquire(self, tokens: float = 1.0) -> None:
+        async with self._lock:
+            loop = asyncio.get_running_loop()
+            self._refill(loop.time())
+            # Debt model: subtract first, then sleep the debt off.  Refilling
+            # from a negative balance is never clipped by ``capacity``, so an
+            # acquisition larger than the bucket (a big batch under a small
+            # rate) still pays exactly ``tokens / rate`` seconds instead of
+            # losing the tokens earned while sleeping.
+            self._tokens -= tokens
+            if self._tokens < 0:
+                await asyncio.sleep(-self._tokens / self.rate)
+                self._refill(loop.time())
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with multiplicative jitter.
+
+    ``attempts`` counts *retries* after the first try.  The delay before
+    retry ``k`` (1-based) is ``base_delay * 2**(k-1)`` capped at
+    ``max_delay``, scaled by a uniform factor in ``[1 - jitter/2, 1 + jitter/2]``
+    so synchronized failures don't retry in lockstep.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        base = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
+        return base * (1.0 - self.jitter / 2.0 + rng.random() * self.jitter)
+
+
+@dataclass
+class DispatchStats:
+    """Cumulative dispatcher accounting (all mutated on the event loop)."""
+
+    requests: int = 0
+    batches: int = 0
+    retries: int = 0
+    failures: int = 0
+    max_batch_size: int = 0
+    batched_requests: int = 0
+    batch_sizes: list[int] = field(default_factory=list)
+
+    _BATCH_HISTORY = 1024
+
+    def record_batch(self, size: int) -> None:
+        self.batches += 1
+        self.batched_requests += size
+        self.max_batch_size = max(self.max_batch_size, size)
+        self.batch_sizes.append(size)
+        if len(self.batch_sizes) > self._BATCH_HISTORY:
+            del self.batch_sizes[: len(self.batch_sizes) - self._BATCH_HISTORY]
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "retries": self.retries,
+            "failures": self.failures,
+            "mean_batch_size": round(self.mean_batch_size, 3),
+            "max_batch_size": self.max_batch_size,
+        }
+
+
+class _Request:
+    __slots__ = ("messages", "client", "future")
+
+    def __init__(self, messages: list[ChatMessage], client, future: asyncio.Future):
+        self.messages = messages
+        self.client = client
+        self.future = future
+
+
+class BatchingDispatcher:
+    """Coalesce concurrent completion requests into rate-limited micro-batches.
+
+    Requests arriving within ``batch_window`` seconds of each other (or until
+    ``max_batch`` of them are pending) are flushed as one batch: the batch
+    acquires rate-limiter tokens once, occupies one in-flight batch slot, and
+    its members complete concurrently.  A ``batch_window`` of 0 still batches
+    whatever accumulated during the current event-loop tick — with many
+    sessions awaiting completions, that alone yields healthy batch sizes.
+
+    Requests carry their own client (per-session seeded backends) or fall
+    back to ``default_client``.  If the default client exposes
+    ``complete_batch``, same-batch requests bound to it are sent through one
+    native batch call.  ``per_profile_limit`` caps how many requests of one
+    model profile are in flight at once; ``retry`` resubmits failed requests
+    with jittered exponential backoff.
+
+    A dispatcher instance is bound to the event loop it first runs on.
+    """
+
+    def __init__(
+        self,
+        default_client: AsyncChatClient | ChatClient | None = None,
+        *,
+        batch_window: float = 0.0,
+        max_batch: int = 8,
+        rate_limiter: TokenBucket | None = None,
+        max_concurrent_batches: int | None = None,
+        per_profile_limit: int | None = None,
+        retry: RetryPolicy | None = None,
+        retry_seed: int | None = None,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.default_client = default_client
+        self.batch_window = batch_window
+        self.max_batch = max_batch
+        self.rate_limiter = rate_limiter
+        self.per_profile_limit = per_profile_limit
+        self.retry = retry or RetryPolicy()
+        self.stats = DispatchStats()
+        self._rng = random.Random(retry_seed)
+        self._pending: list[_Request] = []
+        self._timer: asyncio.Task | None = None
+        self._batch_tasks: set[asyncio.Task] = set()
+        self._batch_slots = (
+            asyncio.Semaphore(max_concurrent_batches) if max_concurrent_batches else None
+        )
+        self._profile_slots: dict[str, asyncio.Semaphore] = {}
+
+    # ---------------------------------------------------------------- public
+
+    async def complete(
+        self,
+        messages: list[ChatMessage],
+        client: AsyncChatClient | ChatClient | None = None,
+        profile: str | None = None,
+    ) -> str:
+        """Complete ``messages`` through the batching pipeline."""
+        resolved = client if client is not None else self.default_client
+        if resolved is None:
+            raise ValueError("no client for request and no default_client configured")
+        if profile is not None and self.per_profile_limit:
+            slot = self._profile_slots.get(profile)
+            if slot is None:
+                slot = self._profile_slots[profile] = asyncio.Semaphore(self.per_profile_limit)
+            async with slot:
+                return await self._enqueue(messages, resolved)
+        return await self._enqueue(messages, resolved)
+
+    async def drain(self) -> None:
+        """Wait until every pending and in-flight batch has finished."""
+        while self._pending or self._batch_tasks or self._timer is not None:
+            if self._timer is not None or self._pending:
+                self._flush_all()
+            tasks = list(self._batch_tasks)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            else:
+                await asyncio.sleep(0)
+
+    # --------------------------------------------------------------- batching
+
+    async def _enqueue(self, messages: list[ChatMessage], client) -> str:
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self.stats.requests += 1
+        self._pending.append(_Request(messages, client, future))
+        if len(self._pending) >= self.max_batch:
+            self._flush_all()
+        elif self._timer is None:
+            self._timer = loop.create_task(self._flush_after_window())
+        return await future
+
+    async def _flush_after_window(self) -> None:
+        try:
+            if self.batch_window > 0:
+                await asyncio.sleep(self.batch_window)
+            else:
+                # Yield once so every session runnable this tick can enqueue.
+                await asyncio.sleep(0)
+        except asyncio.CancelledError:
+            return
+        self._timer = None
+        self._flush_all()
+
+    def _flush_all(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        loop = asyncio.get_running_loop()
+        while self._pending:
+            chunk = self._pending[: self.max_batch]
+            del self._pending[: self.max_batch]
+            task = loop.create_task(self._run_batch(chunk))
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._batch_tasks.discard)
+
+    async def _run_batch(self, batch: list[_Request]) -> None:
+        try:
+            if self._batch_slots is not None:
+                async with self._batch_slots:
+                    await self._execute_batch(batch)
+            else:
+                await self._execute_batch(batch)
+        except Exception as exc:  # defensive: a failed batch must not hang waiters
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+
+    async def _execute_batch(self, batch: list[_Request]) -> None:
+        if self.rate_limiter is not None:
+            await self.rate_limiter.acquire(len(batch))
+        self.stats.record_batch(len(batch))
+        grouped = [request for request in batch if self._is_batchable(request)]
+        singles = [request for request in batch if not self._is_batchable(request)]
+        coros = []
+        if grouped:
+            coros.append(self._complete_grouped(grouped))
+        coros.extend(self._complete_single(request) for request in singles)
+        if coros:
+            await asyncio.gather(*coros)
+
+    def _is_batchable(self, request: _Request) -> bool:
+        return request.client is self.default_client and hasattr(
+            request.client, "complete_batch"
+        )
+
+    # ------------------------------------------------------------- completion
+
+    async def _call(self, client, messages: list[ChatMessage]) -> str:
+        value = client.complete(messages)
+        if inspect.isawaitable(value):
+            value = await value
+        return value
+
+    async def _complete_single(self, request: _Request) -> None:
+        attempt = 0
+        while True:
+            try:
+                result = await self._call(request.client, request.messages)
+                if not request.future.done():
+                    request.future.set_result(result)
+                return
+            except Exception as exc:
+                attempt += 1
+                if attempt > self.retry.attempts:
+                    self.stats.failures += 1
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+                    return
+                self.stats.retries += 1
+                await asyncio.sleep(self.retry.delay(attempt, self._rng))
+
+    async def _complete_grouped(self, group: list[_Request]) -> None:
+        try:
+            value = self.default_client.complete_batch(
+                [request.messages for request in group]
+            )
+            if inspect.isawaitable(value):
+                value = await value
+            results = list(value)
+            if len(results) != len(group):
+                raise RuntimeError(
+                    f"complete_batch returned {len(results)} results for {len(group)} requests"
+                )
+        except Exception:
+            # One poisoned request must not sink its batch-mates: degrade to
+            # per-request completion, where the retry policy isolates
+            # failures to the requests that actually caused them.
+            await asyncio.gather(*(self._complete_single(request) for request in group))
+            return
+        for request, result in zip(group, results):
+            if not request.future.done():
+                request.future.set_result(result)

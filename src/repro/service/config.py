@@ -1,0 +1,103 @@
+"""Configuration for the async generation service.
+
+Every knob is also settable from the environment (``REPRO_SERVICE_*``), so
+deployments tune the service without code changes; see EXPERIMENTS.md for
+the catalogue.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.experiments.config import RESULT_STORE_ENV, _DISABLED_STORE_VALUES
+from repro.llm.dispatch import RetryPolicy
+
+BATCH_WINDOW_ENV = "REPRO_SERVICE_BATCH_WINDOW"
+MAX_INFLIGHT_ENV = "REPRO_SERVICE_MAX_INFLIGHT"
+RATE_LIMIT_ENV = "REPRO_SERVICE_RATE_LIMIT"
+MAX_BATCH_ENV = "REPRO_SERVICE_MAX_BATCH"
+QUEUE_LIMIT_ENV = "REPRO_SERVICE_QUEUE_LIMIT"
+TOOL_WORKERS_ENV = "REPRO_SERVICE_TOOL_WORKERS"
+
+
+def _env_float(name: str) -> float | None:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from None
+
+
+def _env_int(name: str) -> int | None:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs of the :class:`~repro.service.service.GenerationService`.
+
+    ``max_in_flight`` bounds concurrently executing sessions (the worker
+    count); ``queue_limit`` bounds the job queue — ``submit`` awaits when it
+    is full, which is the service's backpressure.  ``batch_window`` /
+    ``max_batch`` / ``rate_limit`` / ``per_profile_limit`` parameterize the
+    :class:`~repro.llm.dispatch.BatchingDispatcher`; ``tool_workers`` sizes
+    the bounded executor that compile/simulate steps are offloaded to.
+    ``store_path`` points the result cache at a persistent
+    :class:`~repro.experiments.store.ResultStore` shared with the sweep
+    engine, so specs already swept are served without any LLM traffic;
+    ``memo_size`` bounds the in-process payload memo in front of it.
+    """
+
+    max_in_flight: int = 32
+    queue_limit: int = 128
+    batch_window: float = 0.0
+    max_batch: int = 16
+    rate_limit: float | None = None
+    per_profile_limit: int | None = None
+    tool_workers: int = 1
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    store_path: str | None = None
+    memo_size: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if self.tool_workers < 1:
+            raise ValueError("tool_workers must be >= 1")
+
+    @classmethod
+    def from_environment(cls) -> "ServiceConfig":
+        config = cls()
+        batch_window = _env_float(BATCH_WINDOW_ENV)
+        if batch_window is not None:
+            config.batch_window = max(0.0, batch_window)
+        max_in_flight = _env_int(MAX_INFLIGHT_ENV)
+        if max_in_flight is not None:
+            config.max_in_flight = max(1, max_in_flight)
+        rate_limit = _env_float(RATE_LIMIT_ENV)
+        if rate_limit is not None:
+            config.rate_limit = rate_limit if rate_limit > 0 else None
+        max_batch = _env_int(MAX_BATCH_ENV)
+        if max_batch is not None:
+            config.max_batch = max(1, max_batch)
+        queue_limit = _env_int(QUEUE_LIMIT_ENV)
+        if queue_limit is not None:
+            config.queue_limit = max(1, queue_limit)
+        tool_workers = _env_int(TOOL_WORKERS_ENV)
+        if tool_workers is not None:
+            config.tool_workers = max(1, tool_workers)
+        store_raw = os.environ.get(RESULT_STORE_ENV, "").strip()
+        if store_raw.lower() not in _DISABLED_STORE_VALUES:
+            config.store_path = store_raw
+        return config

@@ -1,0 +1,291 @@
+"""The async generation service: hundreds of concurrent sessions, one loop.
+
+:class:`GenerationService` accepts :class:`~repro.experiments.work.WorkUnit`
+jobs (the same unit type the sweep engine executes) and runs each as a
+step-wise session (see :mod:`repro.core.session`) on one asyncio event loop:
+
+* **LLM steps** go through the :class:`~repro.llm.dispatch.BatchingDispatcher`
+  — concurrent sessions' requests coalesce into micro-batches under a token
+  bucket, per-profile caps and jittered retry;
+* **tool steps** (compile / simulate / parse) are offloaded to a bounded
+  thread executor so the loop stays responsive for dispatch timers;
+* **scheduling** is fair FIFO: a bounded job queue feeds ``max_in_flight``
+  worker tasks, and ``submit`` awaits whenever the queue is full
+  (backpressure);
+* **caching** reuses the sweep engine's content fingerprints: results are
+  memoized in-process, served from a persistent
+  :class:`~repro.experiments.store.ResultStore` when one is configured, and
+  duplicate in-flight specs coalesce onto a single execution — repeat specs
+  cost zero LLM calls.
+
+Every session owns its deterministically seeded client, so results are
+bit-identical to blocking ``ReChisel.run`` / ``ZeroShotRunner.run`` /
+``AutoChip.run`` at any concurrency level — ``tests/test_service.py``
+asserts this for all three strategies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence
+
+from repro.caching import LruCache
+from repro.core.session import LLMCall, Session
+from repro.experiments.store import ResultStore
+from repro.experiments.strategies import strategy_from_unit
+from repro.experiments.work import WorkerContext, WorkUnit
+from repro.llm.dispatch import BatchingDispatcher, TokenBucket
+from repro.problems.registry import ProblemRegistry
+from repro.service.config import ServiceConfig
+from repro.service.telemetry import ServiceSnapshot, Telemetry
+
+
+def _consume_exception(future: asyncio.Future) -> None:
+    """Mark a barrier future's exception retrieved even with no waiters."""
+    if not future.cancelled():
+        future.exception()
+
+
+class GenerationService:
+    """Concurrent ReChisel/zero-shot/AutoChip serving with batched LLM dispatch.
+
+    Use as an async context manager (or call :meth:`start` / :meth:`close`)::
+
+        async with GenerationService(ServiceConfig(max_in_flight=64)) as service:
+            payloads = await service.run(units)
+
+    ``client_factory`` builds the per-job chat client; it defaults to the
+    worker context's seeded synthetic client and is the hook for plugging in
+    real API clients (wrap blocking ones in
+    :class:`~repro.llm.dispatch.SyncClientAdapter` with an executor).
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        context: WorkerContext | None = None,
+        registry: ProblemRegistry | None = None,
+        store: ResultStore | None = None,
+        dispatcher: BatchingDispatcher | None = None,
+        client_factory: Callable[[WorkUnit], object] | None = None,
+    ):
+        self.config = config or ServiceConfig()
+        self.context = context or WorkerContext(registry=registry)
+        if store is None and self.config.store_path:
+            store = ResultStore(self.config.store_path)
+            self._owns_store = True
+        else:
+            self._owns_store = False
+        self.store = store
+        self.telemetry = Telemetry()
+        self._dispatcher_override = dispatcher
+        self._client_factory = client_factory or self.context.client_for
+        self.dispatcher: BatchingDispatcher | None = None
+        self._queue: asyncio.Queue | None = None
+        self._workers: list[asyncio.Task] = []
+        self._tools: ThreadPoolExecutor | None = None
+        # Bounded: a long-lived service streaming mostly-unique specs must not
+        # accumulate payloads forever; the persistent store is the durable tier.
+        self._memo: LruCache[dict] = LruCache(self.config.memo_size)
+        self._inflight: dict[str, asyncio.Future] = {}
+
+    # -------------------------------------------------------------- lifecycle
+
+    @property
+    def started(self) -> bool:
+        return bool(self._workers)
+
+    async def start(self) -> "GenerationService":
+        if self.started:
+            return self
+        loop = asyncio.get_running_loop()
+        config = self.config
+        self.dispatcher = self._dispatcher_override or BatchingDispatcher(
+            batch_window=config.batch_window,
+            max_batch=config.max_batch,
+            rate_limiter=TokenBucket(config.rate_limit) if config.rate_limit else None,
+            per_profile_limit=config.per_profile_limit,
+            retry=config.retry,
+            retry_seed=0,
+        )
+        self._queue = asyncio.Queue(maxsize=config.queue_limit)
+        self._tools = ThreadPoolExecutor(
+            max_workers=config.tool_workers, thread_name_prefix="repro-svc-tool"
+        )
+        self._workers = [loop.create_task(self._worker()) for _ in range(config.max_in_flight)]
+        return self
+
+    async def close(self) -> None:
+        for worker in self._workers:
+            worker.cancel()
+        if self._workers:
+            await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        if self._queue is not None:
+            await self._fail_queued_jobs()
+        if self._tools is not None:
+            self._tools.shutdown(wait=True)
+            self._tools = None
+        self._queue = None
+        if self._owns_store and self.store is not None:
+            self.store.close()
+
+    async def _fail_queued_jobs(self) -> None:
+        """Fail jobs still queued at close so their submitters don't hang.
+
+        Draining frees queue slots, which wakes submitters blocked on a full
+        queue; the loop keeps yielding to them until a full pass finds the
+        queue empty, so every orphaned job's future resolves.
+        """
+        while True:
+            drained = False
+            while not self._queue.empty():
+                _unit, future = self._queue.get_nowait()
+                if not future.done():
+                    future.set_exception(
+                        RuntimeError("generation service closed before the job ran")
+                    )
+                self._queue.task_done()
+                drained = True
+            await asyncio.sleep(0)
+            if not drained and self._queue.empty():
+                return
+
+    async def __aenter__(self) -> "GenerationService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------- jobs
+
+    async def submit(self, unit: WorkUnit) -> dict:
+        """Enqueue one job and await its payload (awaits when the queue is full)."""
+        if not self.started:
+            raise RuntimeError("service not started; use `async with service:` or await start()")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self.telemetry.submitted += 1
+        await self._queue.put((unit, future))
+        return await future
+
+    async def run(self, units: Iterable[WorkUnit]) -> list[dict]:
+        """Submit a batch of jobs and return their payloads in submission order."""
+        units = list(units)
+        if not self.started:
+            async with self:
+                return await asyncio.gather(*(self.submit(unit) for unit in units))
+        return await asyncio.gather(*(self.submit(unit) for unit in units))
+
+    def snapshot(self) -> ServiceSnapshot:
+        """A consistent telemetry snapshot (queue depth, cache hits, p50/p95)."""
+        return self.telemetry.snapshot(
+            queue_depth=self._queue.qsize() if self._queue is not None else 0,
+            dispatcher_stats=self.dispatcher.stats.snapshot() if self.dispatcher else None,
+        )
+
+    # ---------------------------------------------------------------- workers
+
+    async def _worker(self) -> None:
+        while True:
+            unit, future = await self._queue.get()
+            try:
+                payload = await self._execute(unit)
+            except asyncio.CancelledError:
+                if not future.done():
+                    future.cancel()
+                raise
+            except Exception as exc:
+                self.telemetry.failed += 1
+                if not future.done():
+                    future.set_exception(exc)
+            else:
+                self.telemetry.completed += 1
+                if not future.done():
+                    future.set_result(payload)
+            finally:
+                self._queue.task_done()
+
+    async def _execute(self, unit: WorkUnit) -> dict:
+        loop = asyncio.get_running_loop()
+        fingerprint = self.context.fingerprint(unit)
+
+        payload = self._memo.get(fingerprint)
+        if payload is not None:
+            self.telemetry.memo_hits += 1
+            return payload
+        if self.store is not None:
+            payload = self.store.get(fingerprint)
+            if payload is not None:
+                self.telemetry.store_hits += 1
+                self._memo.put(fingerprint, payload)
+                return payload
+        pending = self._inflight.get(fingerprint)
+        if pending is not None:
+            # The same spec is already executing: piggyback on its result
+            # instead of spending duplicate LLM calls.
+            self.telemetry.coalesced_hits += 1
+            return await pending
+
+        barrier: asyncio.Future = loop.create_future()
+        barrier.add_done_callback(_consume_exception)
+        self._inflight[fingerprint] = barrier
+        self.telemetry.in_flight += 1
+        started = loop.time()
+        try:
+            client = self._client_factory(unit)
+            session = strategy_from_unit(unit).session(self.context, unit, client)
+            payload = await self._drive(session, client, unit.model)
+        except BaseException as exc:
+            if not barrier.done():
+                barrier.set_exception(exc)
+            raise
+        finally:
+            self.telemetry.in_flight -= 1
+            self.telemetry.record_latency(loop.time() - started)
+            del self._inflight[fingerprint]
+        self._memo.put(fingerprint, payload)
+        if self.store is not None:
+            self.store.put(fingerprint, unit, payload)
+        if not barrier.done():
+            barrier.set_result(payload)
+        return payload
+
+    async def _drive(self, session: Session, client, profile: str) -> dict:
+        """Answer a session's steps: LLM via the dispatcher, tools via the executor."""
+        loop = asyncio.get_running_loop()
+        try:
+            step = next(session)
+            while True:
+                self.telemetry.steps.record(step)
+                if isinstance(step, LLMCall):
+                    value = await self.dispatcher.complete(
+                        step.messages, client=client, profile=profile
+                    )
+                else:
+                    value = await loop.run_in_executor(self._tools, step.run)
+                step = session.send(value)
+        except StopIteration as stop:
+            return stop.value
+
+
+def serve_units(
+    units: Sequence[WorkUnit],
+    config: ServiceConfig | None = None,
+    **kwargs,
+) -> tuple[list[dict], ServiceSnapshot]:
+    """Blocking convenience: run ``units`` through a fresh service.
+
+    Spins up an event loop, serves every unit, and returns the payloads (in
+    submission order) together with the final telemetry snapshot.
+    """
+
+    async def _main() -> tuple[list[dict], ServiceSnapshot]:
+        service = GenerationService(config, **kwargs)
+        async with service:
+            payloads = await asyncio.gather(*(service.submit(unit) for unit in units))
+        return list(payloads), service.snapshot()
+
+    return asyncio.run(_main())

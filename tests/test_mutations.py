@@ -1,0 +1,99 @@
+"""Edge-case tests for the syntax-fault injectors in ``problems/mutations.py``.
+
+The synthetic LLM replays injectors during retries and service re-drives, so
+two properties matter beyond "the fault compiles into the right error class":
+injector application must be idempotent (re-invoking the same injector on the
+same source always produces the identical mutant — no hidden state, no
+randomness), and every registered golden design must admit at least one
+applicable mutation (a problem no fault applies to would silently skew the
+calibrated error mix).
+"""
+
+import pytest
+
+from repro.problems.mutations import (
+    SYNTAX_FAULTS,
+    SYNTAX_FAULTS_BY_ID,
+    applicable_syntax_faults,
+)
+from repro.problems.registry import build_default_registry
+from repro.toolchain.compiler import ChiselCompiler
+
+REGISTRY = build_default_registry()
+PROBLEMS = list(REGISTRY)
+COMPILER = ChiselCompiler(top="TopModule")
+
+FAMILIES = sorted({fault.error_class for fault in SYNTAX_FAULTS})
+
+
+def faults_in_family(family):
+    return [fault for fault in SYNTAX_FAULTS if fault.error_class == family]
+
+
+class TestRegistryCoverage:
+    def test_every_golden_design_admits_a_mutation(self):
+        uncovered = [
+            problem.problem_id
+            for problem in PROBLEMS
+            if not applicable_syntax_faults(problem.golden_chisel, problem)
+        ]
+        assert uncovered == [], f"no applicable syntax fault for: {uncovered}"
+
+    def test_registry_lookup_matches_fault_list(self):
+        assert set(SYNTAX_FAULTS_BY_ID) == {fault.fault_id for fault in SYNTAX_FAULTS}
+        assert len(SYNTAX_FAULTS_BY_ID) == len(SYNTAX_FAULTS)
+
+
+class TestIdempotence:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_application_is_idempotent_per_family(self, family):
+        """Re-invoking an injector on the same source yields the same mutant."""
+        exercised = 0
+        for fault in faults_in_family(family):
+            for problem in PROBLEMS:
+                source = problem.golden_chisel
+                if not fault.applies(source, problem):
+                    continue
+                first = fault.apply(source, problem)
+                second = fault.apply(source, problem)
+                assert first == second, f"{fault.fault_id} is not idempotent on {problem.problem_id}"
+                exercised += 1
+        assert exercised > 0, f"family {family} never applied to any golden design"
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_application_changes_the_source(self, family):
+        for fault in faults_in_family(family):
+            for problem in PROBLEMS:
+                source = problem.golden_chisel
+                if not fault.applies(source, problem):
+                    continue
+                assert fault.apply(source, problem) != source, (
+                    f"{fault.fault_id} was a no-op on {problem.problem_id}"
+                )
+
+    def test_applies_is_pure(self):
+        """`applies` must not mutate its inputs or depend on call order."""
+        problem = PROBLEMS[0]
+        source = problem.golden_chisel
+        first = [fault.fault_id for fault in applicable_syntax_faults(source, problem)]
+        second = [fault.fault_id for fault in applicable_syntax_faults(source, problem)]
+        assert first == second
+        assert source == problem.golden_chisel
+
+
+class TestFaultsBreakCompilation:
+    @pytest.mark.parametrize("fault", SYNTAX_FAULTS, ids=lambda fault: fault.fault_id)
+    def test_each_fault_breaks_some_golden_design(self, fault):
+        """Every injector produces a compile failure on at least one design."""
+        tried = 0
+        for problem in PROBLEMS:
+            source = problem.golden_chisel
+            if not fault.applies(source, problem):
+                continue
+            mutated = fault.apply(source, problem)
+            if not COMPILER.compile(mutated).success:
+                return
+            tried += 1
+            if tried >= 5:
+                break
+        pytest.fail(f"{fault.fault_id} never broke compilation on sampled designs")

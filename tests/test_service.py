@@ -1,0 +1,487 @@
+"""Tests for the async generation service and the batching LLM dispatcher."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.core.session import LLMCall, StepCounts, ToolCall, counting, drive
+from repro.experiments.strategies import strategy_from_unit
+from repro.experiments.work import WorkerContext, WorkUnit
+from repro.llm.client import ChatMessage, EchoClient, RecordingClient
+from repro.llm.dispatch import (
+    BatchingDispatcher,
+    LatencyClient,
+    RetryPolicy,
+    SyncClientAdapter,
+    TokenBucket,
+)
+from repro.service import GenerationService, ServiceConfig, serve_units
+from repro.service.config import (
+    BATCH_WINDOW_ENV,
+    MAX_INFLIGHT_ENV,
+    RATE_LIMIT_ENV,
+)
+from repro.service.telemetry import percentile
+
+RECHISEL_KNOBS = (
+    ("enable_escape", True),
+    ("feedback_detail", "full"),
+    ("use_knowledge", True),
+)
+
+
+def make_units(samples=2):
+    """A small mixed workload covering all three strategies and two models."""
+    units = []
+    specs = [
+        ("zero_shot", (("language", "chisel"),), 0),
+        ("zero_shot", (("language", "verilog"),), 0),
+        ("rechisel", RECHISEL_KNOBS, 6),
+        ("autochip", (), 6),
+    ]
+    for strategy, knobs, max_iterations in specs:
+        for sample in range(samples):
+            units.append(
+                WorkUnit(strategy, "GPT-4o mini", "alu_w4", 0, sample, 0, max_iterations, knobs)
+            )
+            units.append(
+                WorkUnit(
+                    strategy, "Claude 3.5 Sonnet", "counter_w4", 1, sample, 0, max_iterations, knobs
+                )
+            )
+    return units
+
+
+def direct_payloads(units):
+    context = WorkerContext()
+    return [strategy_from_unit(unit).execute(context, unit) for unit in units]
+
+
+class TestServiceEquivalence:
+    """Service results must be bit-identical to blocking runs, all strategies."""
+
+    @pytest.mark.parametrize("concurrency", [1, 4, 32])
+    def test_all_strategies_bit_identical(self, concurrency):
+        units = make_units()
+        expected = direct_payloads(units)
+        payloads, snapshot = serve_units(units, ServiceConfig(max_in_flight=concurrency))
+        assert payloads == expected
+        assert snapshot.completed == len(units)
+        assert snapshot.failed == 0
+
+    def test_latency_simulating_client_does_not_change_results(self):
+        units = make_units(samples=1)
+        expected = direct_payloads(units)
+        context = WorkerContext()
+        payloads, _ = serve_units(
+            units,
+            ServiceConfig(max_in_flight=16),
+            context=context,
+            client_factory=lambda unit: LatencyClient(context.client_for(unit), 0.001),
+        )
+        assert payloads == expected
+
+    def test_batch_window_and_rate_limit_do_not_change_results(self):
+        units = make_units(samples=1)
+        expected = direct_payloads(units)
+        config = ServiceConfig(
+            max_in_flight=8, batch_window=0.002, max_batch=4, rate_limit=5000.0
+        )
+        payloads, snapshot = serve_units(units, config)
+        assert payloads == expected
+        assert snapshot.dispatcher["max_batch_size"] <= 4
+
+
+class TestServiceCaching:
+    def test_duplicate_units_cost_no_extra_llm_calls(self):
+        base = make_units(samples=1)
+        units = base + base  # every unit twice
+        payloads, snapshot = serve_units(units, ServiceConfig(max_in_flight=8))
+        assert payloads[: len(base)] == payloads[len(base):]
+        duplicates = len(base)
+        assert snapshot.memo_hits + snapshot.coalesced_hits == duplicates
+
+    def test_warm_store_serves_repeats_without_llm_calls(self, tmp_path):
+        store_path = str(tmp_path / "service-results.jsonl")
+        units = make_units(samples=1)
+        cold, cold_snapshot = serve_units(units, ServiceConfig(store_path=store_path))
+        assert cold_snapshot.dispatcher["requests"] > 0
+
+        warm, warm_snapshot = serve_units(units, ServiceConfig(store_path=store_path))
+        assert warm == cold
+        assert warm_snapshot.dispatcher["requests"] == 0
+        assert warm_snapshot.llm_calls == 0
+        assert warm_snapshot.store_hits == len(units)
+
+    def test_service_shares_store_with_sweep_engine(self, tmp_path):
+        """A spec already swept by the engine is served from the store."""
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.engine import SweepEngine
+
+        store_path = str(tmp_path / "shared.jsonl")
+        units = make_units(samples=1)
+        config = ExperimentConfig(store_path=store_path)
+        engine = SweepEngine(config)
+        engine.run(units)
+        engine.close()
+
+        payloads, snapshot = serve_units(units, ServiceConfig(store_path=store_path))
+        assert snapshot.store_hits == len(units)
+        assert snapshot.dispatcher["requests"] == 0
+        assert payloads == direct_payloads(units)
+
+    def test_close_fails_queued_jobs_instead_of_hanging(self):
+        """Closing with jobs still queued resolves every submitter's future."""
+        units = make_units(samples=2)[:6]
+
+        class SlowClient:
+            def __init__(self, inner):
+                self.inner = inner
+
+            async def complete(self, messages):
+                await asyncio.sleep(0.2)
+                return self.inner.complete(messages)
+
+        async def main():
+            context = WorkerContext()
+            service = GenerationService(
+                ServiceConfig(max_in_flight=1, queue_limit=2),
+                context=context,
+                client_factory=lambda unit: SlowClient(context.client_for(unit)),
+            )
+            await service.start()
+            tasks = [asyncio.create_task(service.submit(unit)) for unit in units]
+            await asyncio.sleep(0.02)  # one in flight, rest queued or awaiting a slot
+            await service.close()
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        results = asyncio.run(main())
+        assert all(
+            isinstance(result, (RuntimeError, asyncio.CancelledError)) for result in results
+        ), results
+        assert any(isinstance(result, RuntimeError) for result in results)
+
+    def test_backpressure_queue_stays_bounded(self):
+        units = make_units(samples=2)
+        config = ServiceConfig(max_in_flight=2, queue_limit=2)
+        payloads, snapshot = serve_units(units, config)
+        assert len(payloads) == len(units)
+        assert snapshot.failed == 0
+
+
+class TestTelemetry:
+    def test_snapshot_counts_llm_and_tool_steps(self):
+        units = make_units(samples=1)
+        _, snapshot = serve_units(units, ServiceConfig(max_in_flight=4))
+        assert snapshot.llm_calls > 0
+        assert snapshot.tool_calls > 0
+        assert snapshot.p95_latency >= snapshot.p50_latency >= 0.0
+        assert snapshot.dispatcher["requests"] == snapshot.llm_calls
+        assert "session latency" in snapshot.render()
+
+    def test_percentile_nearest_rank(self):
+        samples = [0.1, 0.2, 0.3, 0.4]
+        assert percentile(samples, 0.5) == 0.2
+        assert percentile(samples, 0.95) == 0.4
+        assert percentile([], 0.5) == 0.0
+        # Nearest-rank on an exact-integer rank picks that rank, not the next.
+        assert percentile([1.0, 2.0], 0.5) == 1.0
+        assert percentile(list(range(1, 101)), 0.95) == 95
+
+
+class TestDispatcher:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_microbatching_coalesces_concurrent_requests(self):
+        client = EchoClient("ok")
+
+        async def main():
+            dispatcher = BatchingDispatcher(client, max_batch=32)
+            results = await asyncio.gather(
+                *(
+                    dispatcher.complete([ChatMessage("user", f"q{i}")])
+                    for i in range(16)
+                )
+            )
+            return results, dispatcher.stats
+
+        results, stats = self.run(main())
+        assert results == ["ok"] * 16
+        assert stats.requests == 16
+        # All 16 requests were enqueued in one event-loop tick, so they
+        # coalesce into far fewer batches than requests.
+        assert stats.batches < 16
+        assert stats.max_batch_size > 1
+
+    def test_max_batch_is_respected(self):
+        client = EchoClient("ok")
+
+        async def main():
+            dispatcher = BatchingDispatcher(client, max_batch=4)
+            await asyncio.gather(
+                *(dispatcher.complete([ChatMessage("user", str(i))]) for i in range(10))
+            )
+            return dispatcher.stats
+
+        stats = self.run(main())
+        assert stats.requests == 10
+        assert stats.max_batch_size <= 4
+
+    def test_native_batch_client_gets_grouped_call(self):
+        class BatchClient:
+            def __init__(self):
+                self.batch_calls = []
+
+            def complete(self, messages):
+                return "single"
+
+            def complete_batch(self, batches):
+                self.batch_calls.append(len(batches))
+                return [f"b{i}" for i in range(len(batches))]
+
+        client = BatchClient()
+
+        async def main():
+            dispatcher = BatchingDispatcher(client, max_batch=8)
+            return await asyncio.gather(
+                *(dispatcher.complete([ChatMessage("user", str(i))]) for i in range(6))
+            )
+
+        results = self.run(main())
+        assert sorted(results) == [f"b{i}" for i in range(6)]
+        assert client.batch_calls and max(client.batch_calls) > 1
+
+    def test_batch_failure_isolates_to_poisoned_request(self):
+        """A failing complete_batch degrades to singles; batch-mates survive."""
+
+        class PoisonBatchClient:
+            def complete(self, messages):
+                if messages[-1].content == "poison":
+                    raise ValueError("bad request")
+                return "ok"
+
+            def complete_batch(self, batches):
+                raise ValueError("bad request in batch")
+
+        async def main():
+            dispatcher = BatchingDispatcher(
+                PoisonBatchClient(),
+                max_batch=8,
+                retry=RetryPolicy(attempts=1, base_delay=0.001),
+                retry_seed=0,
+            )
+            contents = ["a", "poison", "b", "c"]
+            return await asyncio.gather(
+                *(dispatcher.complete([ChatMessage("user", text)]) for text in contents),
+                return_exceptions=True,
+            )
+
+        results = self.run(main())
+        assert results[0] == "ok" and results[2] == "ok" and results[3] == "ok"
+        assert isinstance(results[1], ValueError)
+
+    def test_retry_recovers_from_transient_failures(self):
+        class FlakyClient:
+            def __init__(self, failures):
+                self.failures = failures
+                self.calls = 0
+
+            def complete(self, messages):
+                self.calls += 1
+                if self.calls <= self.failures:
+                    raise ConnectionError("transient")
+                return "recovered"
+
+        client = FlakyClient(failures=2)
+
+        async def main():
+            dispatcher = BatchingDispatcher(
+                client, retry=RetryPolicy(attempts=3, base_delay=0.001), retry_seed=0
+            )
+            return await dispatcher.complete([ChatMessage("user", "q")]), dispatcher.stats
+
+        result, stats = self.run(main())
+        assert result == "recovered"
+        assert stats.retries == 2
+        assert stats.failures == 0
+
+    def test_retry_exhaustion_raises(self):
+        class DeadClient:
+            def complete(self, messages):
+                raise ConnectionError("down")
+
+        async def main():
+            dispatcher = BatchingDispatcher(
+                DeadClient(), retry=RetryPolicy(attempts=1, base_delay=0.001), retry_seed=0
+            )
+            with pytest.raises(ConnectionError):
+                await dispatcher.complete([ChatMessage("user", "q")])
+            return dispatcher.stats
+
+        stats = self.run(main())
+        assert stats.failures == 1
+        assert stats.retries == 1
+
+    def test_per_profile_concurrency_cap(self):
+        class GaugeClient:
+            def __init__(self):
+                self.active = 0
+                self.peak = 0
+
+            async def complete(self, messages):
+                self.active += 1
+                self.peak = max(self.peak, self.active)
+                await asyncio.sleep(0.002)
+                self.active -= 1
+                return "ok"
+
+        client = GaugeClient()
+
+        async def main():
+            dispatcher = BatchingDispatcher(client, max_batch=1, per_profile_limit=2)
+            await asyncio.gather(
+                *(
+                    dispatcher.complete([ChatMessage("user", str(i))], profile="m")
+                    for i in range(8)
+                )
+            )
+            return client.peak
+
+        assert self.run(main()) <= 2
+
+    def test_token_bucket_oversized_acquire_keeps_configured_rate(self):
+        """Acquiring more than the bucket's capacity must not strand tokens
+        earned while sleeping: after the debt is paid the balance is ~0, so
+        sustained oversized acquires deliver the configured rate."""
+
+        async def main():
+            bucket = TokenBucket(rate=50.0, capacity=1.0)
+            await bucket.acquire(5.0)
+            return bucket._tokens
+
+        balance = self.run(main())
+        assert balance > -1.0  # the pre-fix debt model left it at ~-4
+
+    def test_token_bucket_paces_requests(self):
+        async def main():
+            bucket = TokenBucket(rate=200.0, capacity=1.0)
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            for _ in range(5):
+                await bucket.acquire(1.0)
+            return loop.time() - start
+
+        # 5 tokens at 200/s with capacity 1 needs ~4 refills: >= ~20ms.
+        assert self.run(main()) >= 0.015
+
+    def test_sync_adapter_and_latency_client(self):
+        inner = EchoClient("hello")
+
+        async def main():
+            adapted = SyncClientAdapter(inner)
+            sim = LatencyClient(inner, 0.001)
+            return (
+                await adapted.complete([ChatMessage("user", "a")]),
+                await sim.complete([ChatMessage("user", "b")]),
+            )
+
+        assert self.run(main()) == ("hello", "hello")
+        assert inner.call_count() == 2
+
+    def test_requires_some_client(self):
+        async def main():
+            dispatcher = BatchingDispatcher()
+            with pytest.raises(ValueError):
+                await dispatcher.complete([ChatMessage("user", "q")])
+
+        self.run(main())
+
+
+class TestSessionProtocol:
+    def test_drive_answers_llm_and_tool_steps(self):
+        def session():
+            text = yield LLMCall([ChatMessage("user", "hi")], "generate")
+            doubled = yield ToolCall(lambda: text * 2, "compile")
+            return doubled
+
+        assert drive(session(), EchoClient("x")) == "xx"
+
+    def test_counting_wrapper_tallies_steps(self):
+        def session():
+            yield LLMCall([ChatMessage("user", "hi")], "generate")
+            yield ToolCall(lambda: 1, "compile")
+            yield ToolCall(lambda: 2, "simulate")
+            return "done"
+
+        counts = StepCounts()
+        assert drive(counting(session(), counts), EchoClient("x")) == "done"
+        assert counts.llm_calls == 1
+        assert counts.tool_calls == 2
+        assert counts.by_purpose == {"generate": 1, "compile": 1, "simulate": 1}
+
+
+class TestConcurrentRecording:
+    """Satellite: shared clients record calls safely across threads."""
+
+    def test_echo_client_records_under_threads(self):
+        client = EchoClient("ok")
+
+        def worker():
+            for i in range(200):
+                client.complete([ChatMessage("user", str(i))])
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert client.call_count() == 8 * 200
+
+    def test_recording_client_snapshots_exchanges(self):
+        client = RecordingClient(EchoClient("pong"))
+
+        def worker():
+            for i in range(100):
+                client.complete([ChatMessage("user", str(i))])
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        exchanges = client.exchanges()
+        assert len(exchanges) == 400
+        assert all(response == "pong" for _, response in exchanges)
+
+
+class TestServiceConfig:
+    def test_from_environment_reads_service_knobs(self, monkeypatch):
+        monkeypatch.setenv(BATCH_WINDOW_ENV, "0.25")
+        monkeypatch.setenv(MAX_INFLIGHT_ENV, "64")
+        monkeypatch.setenv(RATE_LIMIT_ENV, "12.5")
+        config = ServiceConfig.from_environment()
+        assert config.batch_window == 0.25
+        assert config.max_in_flight == 64
+        assert config.rate_limit == 12.5
+
+    def test_from_environment_disables_zero_rate(self, monkeypatch):
+        monkeypatch.setenv(RATE_LIMIT_ENV, "0")
+        assert ServiceConfig.from_environment().rate_limit is None
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(max_in_flight=0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0)
+
+    def test_submit_requires_started_service(self):
+        service = GenerationService(ServiceConfig())
+        unit = make_units(samples=1)[0]
+
+        async def main():
+            with pytest.raises(RuntimeError):
+                await service.submit(unit)
+
+        asyncio.run(main())
