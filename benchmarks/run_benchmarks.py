@@ -6,6 +6,8 @@ Usage::
     python benchmarks/run_benchmarks.py [output.json]
 
 Covers the raw toolchain throughput (compile + simulate one case), the
+batched verification engine (cold candidate, warm iteration-k+1 and trace vs
+step-wise testbench backends, with asserted minimum speedups), the
 sweep-engine throughput (quick-scale Table I sweep: serial vs parallel
 executors, cold vs warm result store) and the generation-service throughput
 (serial latency baseline vs concurrency-32 service vs warm result cache).
@@ -34,6 +36,7 @@ def main(argv: list[str]) -> int:
     return pytest.main(
         [
             os.path.join(root, "benchmarks", "test_toolchain_throughput.py"),
+            os.path.join(root, "benchmarks", "test_verify_throughput.py"),
             os.path.join(root, "benchmarks", "test_sweep_throughput.py"),
             os.path.join(root, "benchmarks", "test_service_throughput.py"),
             "--benchmark-only",

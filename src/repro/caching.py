@@ -1,11 +1,15 @@
-"""A small bounded LRU cache shared by the toolchain memoization layers.
+"""Bounded LRU caches, the cache registry and content fingerprints.
 
-Three hot paths memoize pure functions of source text — Chisel compilation
-(:class:`~repro.toolchain.compiler.ChiselCompiler`), Verilog parsing
-(:mod:`repro.toolchain.simulator`) and kernel compilation
-(:mod:`repro.verilog.compile_sim`).  They share this helper so the eviction
-policy and stats live in one place.  Cached values are shared between callers:
-treat them as immutable.
+Every memoization layer in the toolchain — Chisel parsing and per-module
+elaboration, the FIRRTL pass pipeline, Verilog emission and parsing, compiled
+simulation kernels and trace-compiled testbenches — shares :class:`LruCache`
+so the eviction policy and hit/miss accounting live in one place.  Caches
+constructed with a ``name`` self-register in a process-wide registry;
+:func:`cache_stats` aggregates hits/misses/size per name (summing across
+instances, e.g. every per-compiler result cache) and is what
+``repro.service.telemetry`` snapshots surface.
+
+Cached values are shared between callers: treat them as immutable.
 """
 
 from __future__ import annotations
@@ -13,7 +17,9 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+import weakref
 from collections import OrderedDict
+from dataclasses import fields, is_dataclass
 from typing import Generic, TypeVar
 
 V = TypeVar("V")
@@ -41,11 +47,141 @@ def stable_fingerprint(document: object) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
+def structural_fingerprint(node: object, skip_fields: tuple[str, ...] = ("location",)) -> str:
+    """Content hash of a dataclass tree, ignoring ``skip_fields`` everywhere.
+
+    This is the key for the stage-level compile caches: two parse trees (or
+    FIRRTL circuits) that differ only in source *positions* — shifted lines
+    after an edit elsewhere in the file, moved comments — hash identically, so
+    ReChisel iteration k+1 re-runs a stage only when the revision structurally
+    changed its input.  The trade-off is the classic one of content-addressed
+    build caches: diagnostics replayed from a cached stage carry the source
+    coordinates of the first structurally-identical occurrence.  Error *text*,
+    classes and ordering are unaffected.
+
+    May raise ``RecursionError`` on pathologically deep trees; callers fall
+    back to the uncached path in that case.
+    """
+    digest = hashlib.sha256()
+    update = digest.update
+    _structural_update(node, update, skip_fields)
+    return digest.hexdigest()
+
+
+def _structural_update(value: object, update, skip_fields: tuple[str, ...]) -> None:
+    if is_dataclass(value) and not isinstance(value, type):
+        update(b"D")
+        update(type(value).__name__.encode())
+        update(b"\x1f")
+        for field_ in fields(value):
+            if field_.name in skip_fields:
+                continue
+            update(field_.name.encode())
+            update(b"=")
+            _structural_update(getattr(value, field_.name), update, skip_fields)
+        update(b";")
+    elif isinstance(value, (list, tuple)):
+        update(b"L")
+        for item in value:
+            _structural_update(item, update, skip_fields)
+        update(b";")
+    elif isinstance(value, dict):
+        update(b"M")
+        for key, item in value.items():
+            _structural_update(key, update, skip_fields)
+            update(b":")
+            _structural_update(item, update, skip_fields)
+        update(b";")
+    else:
+        update(b"v")
+        update(repr(value).encode())
+        update(b"\x1f")
+
+
+def get_or_compute(cache, key: str, compute, cache_exceptions: tuple = ()):
+    """Shared stage-memo pattern: lookup, compute on miss, replay failures.
+
+    Exceptions of the listed types are cached as values and re-raised on both
+    the miss and every subsequent hit (the same faulty candidate recurs
+    constantly across samples and repair iterations); anything else
+    propagates uncached.
+    """
+    cached = cache.get(key, _SENTINEL)
+    if cached is not _SENTINEL:
+        if cache_exceptions and isinstance(cached, cache_exceptions):
+            raise cached
+        return cached
+    try:
+        value = compute()
+    except cache_exceptions as exc:
+        cache.put(key, exc)
+        raise
+    return cache.put(key, value)
+
+
+# ---------------------------------------------------------------------------
+# Cache registry
+# ---------------------------------------------------------------------------
+
+_registry: dict[str, list[weakref.ref]] = {}
+_registry_lock = threading.Lock()
+
+
+def register_cache(name: str, cache: "LruCache") -> "LruCache":
+    """Track ``cache`` under ``name`` for :func:`cache_stats` aggregation."""
+    with _registry_lock:
+        _registry.setdefault(name, []).append(weakref.ref(cache))
+    return cache
+
+
+def _live_caches() -> dict[str, list["LruCache"]]:
+    with _registry_lock:
+        live: dict[str, list[LruCache]] = {}
+        for name, refs in _registry.items():
+            instances = [cache for ref in refs if (cache := ref()) is not None]
+            refs[:] = [weakref.ref(cache) for cache in instances]
+            if instances:
+                live[name] = instances
+        return live
+
+
+def cache_stats() -> dict[str, dict[str, int]]:
+    """Hit/miss/size counters for every registered cache, aggregated by name.
+
+    Covers the whole verification engine: ``chisel_parse``,
+    ``chisel_elaborate``, ``chisel_compile`` (summed over compiler instances),
+    ``firrtl_passes``, ``verilog_emit``, ``verilog_parse``, ``sim_kernel`` and
+    ``sim_trace``.
+    """
+    stats: dict[str, dict[str, int]] = {}
+    for name, instances in sorted(_live_caches().items()):
+        stats[name] = {
+            "hits": sum(cache.stats["hits"] for cache in instances),
+            "misses": sum(cache.stats["misses"] for cache in instances),
+            "size": sum(len(cache) for cache in instances),
+            "instances": len(instances),
+        }
+    return stats
+
+
+def clear_registered_caches() -> None:
+    """Empty every registered cache and reset its counters (cold-start helper).
+
+    Benchmarks use this to force deterministic cold runs; note it clears the
+    *registered* caches only — per-object memos (module fingerprints, testbench
+    trace plans) key by identity and stay valid.
+    """
+    for instances in _live_caches().values():
+        for cache in instances:
+            cache.clear()
+
+
 class LruCache(Generic[V]):
     """Bounded insertion-refreshing cache with hit/miss counters.
 
     ``max_size`` of 0 (or ``None``) disables storage entirely: every lookup
-    misses and :meth:`put` is a no-op.
+    misses and :meth:`put` is a no-op.  A ``name`` registers the instance for
+    :func:`cache_stats` aggregation.
 
     Thread-safe: the async generation service shares these caches between the
     event loop (synthetic-client completions) and its bounded tool executor
@@ -54,11 +190,14 @@ class LruCache(Generic[V]):
     but the guard keeps eviction bookkeeping consistent under interleaving.
     """
 
-    def __init__(self, max_size: int | None):
+    def __init__(self, max_size: int | None, name: str | None = None):
         self.max_size = max_size or 0
+        self.name = name
         self._data: OrderedDict[str, V] = OrderedDict()
         self.stats = {"hits": 0, "misses": 0}
         self._lock = threading.Lock()
+        if name is not None:
+            register_cache(name, self)
 
     def __len__(self) -> int:
         return len(self._data)

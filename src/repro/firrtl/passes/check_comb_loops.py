@@ -26,13 +26,20 @@ class CheckCombLoops(Pass):
         return circuit
 
     def _check_module(self, module: ir.Module, diagnostics: DiagnosticList) -> None:
-        registers = {
-            stmt.name
-            for stmt in ir.walk_stmts(module.body)
-            if isinstance(stmt, ir.DefRegister)
-        }
+        # One traversal gathers register definitions and candidate edges; the
+        # register filter (unknowable mid-walk, definitions may follow uses)
+        # is applied when the graph is assembled afterwards.
+        registers: set[str] = set()
+        entries: list[tuple[bool, str, set[str]]] = []
+        self._collect(module.body, [], registers, entries)
         graph = nx.DiGraph()
-        self._add_edges(module.body, [], registers, graph)
+        for is_connect, sink, sources in entries:
+            if is_connect and sink in registers:
+                continue
+            for source in sources:
+                if source in ("clock", "reset"):
+                    continue
+                graph.add_edge(source, sink)
 
         reported: set[frozenset[str]] = set()
         for cycle_nodes in nx.strongly_connected_components(graph):
@@ -52,35 +59,31 @@ class CheckCombLoops(Pass):
                 code="C2",
             )
 
-    def _add_edges(
+    def _collect(
         self,
         block: ir.Block,
         predicates: list[ir.Expr],
         registers: set[str],
-        graph: nx.DiGraph,
+        entries: list[tuple[bool, str, set[str]]],
     ) -> None:
         for stmt in block.stmts:
-            if isinstance(stmt, ir.Connect):
+            if isinstance(stmt, ir.DefRegister):
+                registers.add(stmt.name)
+            elif isinstance(stmt, ir.Connect):
                 root = ir.root_reference(stmt.target)
-                if root is None or root.name in registers:
+                if root is None:
                     continue
                 sources = ir.expr_references(stmt.value)
                 for predicate in predicates:
                     sources |= ir.expr_references(predicate)
-                for source in sources:
-                    if source in ("clock", "reset"):
-                        continue
-                    graph.add_edge(source, root.name)
+                entries.append((True, root.name, sources))
             elif isinstance(stmt, ir.DefNode):
-                for source in ir.expr_references(stmt.value):
-                    if source in ("clock", "reset"):
-                        continue
-                    graph.add_edge(source, stmt.name)
+                entries.append((False, stmt.name, ir.expr_references(stmt.value)))
             elif isinstance(stmt, ir.Conditionally):
-                self._add_edges(stmt.conseq, predicates + [stmt.predicate], registers, graph)
-                self._add_edges(stmt.alt, predicates + [stmt.predicate], registers, graph)
+                self._collect(stmt.conseq, predicates + [stmt.predicate], registers, entries)
+                self._collect(stmt.alt, predicates + [stmt.predicate], registers, entries)
             elif isinstance(stmt, ir.Block):
-                self._add_edges(stmt, predicates, registers, graph)
+                self._collect(stmt, predicates, registers, entries)
 
     def _sample_path(self, graph: nx.DiGraph, nodes: set[str]) -> str:
         start = sorted(nodes)[0]

@@ -31,12 +31,14 @@ class CheckInitialization(Pass):
         for port in module.ports:
             if port.direction == ir.OUTPUT:
                 required[port.name] = ("output port", port.location)
-        for stmt in ir.walk_stmts(module.body):
-            if isinstance(stmt, ir.DefWire) and not stmt.has_default:
-                required[stmt.name] = ("wire", stmt.location)
 
-        fully_assigned = self._assigned_in(module.body)
-        ever_assigned = self._ever_assigned(module.body)
+        # One fused traversal collects the undriven-wire declarations and both
+        # assignment summaries (the seed walked the body three times).
+        wires: list[ir.DefWire] = []
+        ever_assigned: set[str] = set()
+        fully_assigned = self._scan_block(module.body, wires, ever_assigned)
+        for stmt in wires:
+            required[stmt.name] = ("wire", stmt.location)
 
         for name, (kind, location) in sorted(required.items()):
             if name in fully_assigned:
@@ -58,28 +60,26 @@ class CheckInitialization(Pass):
                     code="B3",
                 )
 
-    def _assigned_in(self, block: ir.Block) -> set[str]:
-        """Signals driven on *every* path through ``block``."""
+    def _scan_block(
+        self, block: ir.Block, wires: list[ir.DefWire], ever: set[str]
+    ) -> set[str]:
+        """Returns the signals driven on *every* path through ``block`` while
+        accumulating any-path assignments (``ever``) and undriven-wire
+        declarations (``wires``) in the same traversal."""
         assigned: set[str] = set()
         for stmt in block.stmts:
             if isinstance(stmt, (ir.Connect, ir.Invalidate)):
                 root = ir.root_reference(stmt.target)
-                if root is not None and isinstance(stmt.target, ir.Reference):
-                    assigned.add(root.name)
+                if root is not None:
+                    ever.add(root.name)
+                    if isinstance(stmt.target, ir.Reference):
+                        assigned.add(root.name)
             elif isinstance(stmt, ir.Conditionally):
-                conseq = self._assigned_in(stmt.conseq)
-                alt = self._assigned_in(stmt.alt)
+                conseq = self._scan_block(stmt.conseq, wires, ever)
+                alt = self._scan_block(stmt.alt, wires, ever)
                 assigned |= conseq & alt
             elif isinstance(stmt, ir.Block):
-                assigned |= self._assigned_in(stmt)
-        return assigned
-
-    def _ever_assigned(self, block: ir.Block) -> set[str]:
-        """Signals driven on *some* path through ``block``."""
-        assigned: set[str] = set()
-        for stmt in ir.walk_stmts(block):
-            if isinstance(stmt, (ir.Connect, ir.Invalidate)):
-                root = ir.root_reference(stmt.target)
-                if root is not None:
-                    assigned.add(root.name)
+                assigned |= self._scan_block(stmt, wires, ever)
+            elif isinstance(stmt, ir.DefWire) and not stmt.has_default:
+                wires.append(stmt)
         return assigned

@@ -28,8 +28,12 @@ class InferWidths(Pass):
     def _infer_module(self, module: ir.Module, diagnostics: DiagnosticList) -> ir.Module:
         table = SymbolTable(module)
 
-        # Gather every (sink name, source expression) pair that constrains widths.
+        # Gather every (sink name, source expression) pair that constrains
+        # widths, plus the first declaration of each name — the fixed-point
+        # loop consults declared widths per constraint per iteration, so the
+        # lookup must not re-walk the body each time.
         constraints: list[tuple[str, ir.Expr]] = []
+        declarations: dict[str, ir.Stmt] = {}
         for stmt in ir.walk_stmts(module.body):
             if isinstance(stmt, ir.Connect):
                 root = ir.root_reference(stmt.target)
@@ -39,6 +43,14 @@ class InferWidths(Pass):
                 constraints.append((stmt.name, stmt.init))
             elif isinstance(stmt, ir.DefNode):
                 constraints.append((stmt.name, stmt.value))
+            if isinstance(stmt, (ir.DefWire, ir.DefRegister)):
+                declarations.setdefault(stmt.name, stmt)
+        declared_widths: dict[str, int | None] = {}
+
+        def declared_width(name: str) -> int | None:
+            if name not in declared_widths:
+                declared_widths[name] = self._declared_width(module, name, declarations)
+            return declared_widths[name]
 
         for _ in range(_MAX_ITERATIONS):
             changed = False
@@ -55,7 +67,7 @@ class InferWidths(Pass):
                 if current.width is None or current.width < source_width:
                     # Connections to a *declared-width* signal never widen it
                     # (Chisel truncates); only undeclared widths are inferred.
-                    if self._declared_width(module, name) is not None:
+                    if declared_width(name) is not None:
                         continue
                     new_width = source_width if current.width is None else max(current.width, source_width)
                     new_type = (
@@ -90,13 +102,15 @@ class InferWidths(Pass):
                     )
         return rewritten
 
-    def _declared_width(self, module: ir.Module, name: str) -> int | None:
+    def _declared_width(
+        self, module: ir.Module, name: str, declarations: dict[str, ir.Stmt]
+    ) -> int | None:
         port = module.port_named(name)
         if port is not None:
             return width_of(port.type)
-        for stmt in ir.walk_stmts(module.body):
-            if isinstance(stmt, (ir.DefWire, ir.DefRegister)) and stmt.name == name:
-                return width_of(stmt.type)
+        stmt = declarations.get(name)
+        if stmt is not None:
+            return width_of(stmt.type)
         return None
 
     def _rewrite_module(self, module: ir.Module, table: SymbolTable) -> ir.Module:

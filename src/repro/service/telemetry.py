@@ -11,6 +11,7 @@ import math
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.caching import cache_stats
 from repro.core.session import StepCounts
 
 
@@ -40,6 +41,9 @@ class ServiceSnapshot:
     p50_latency: float
     p95_latency: float
     dispatcher: dict = field(default_factory=dict)
+    # Toolchain cache counters (repro.caching.cache_stats()): parse,
+    # elaborate, compile, pass-pipeline, emit, kernel and trace caches.
+    caches: dict = field(default_factory=dict)
 
     @property
     def cache_hits(self) -> int:
@@ -68,6 +72,12 @@ class ServiceSnapshot:
                 f"max {self.dispatcher.get('max_batch_size', 0)}; "
                 f"retries {self.dispatcher.get('retries', 0)})"
             )
+        if self.caches:
+            parts = [
+                f"{name} {counters['hits']}/{counters['hits'] + counters['misses']}"
+                for name, counters in sorted(self.caches.items())
+            ]
+            lines.append("toolchain caches (hits/lookups)  " + ", ".join(parts))
         return "\n".join(lines)
 
 
@@ -104,4 +114,5 @@ class Telemetry:
             p50_latency=percentile(samples, 0.50),
             p95_latency=percentile(samples, 0.95),
             dispatcher=dict(dispatcher_stats or {}),
+            caches=cache_stats(),
         )

@@ -1,11 +1,37 @@
-"""Testbench execution: drive stimuli into DUT and reference, compare outputs."""
+"""Testbench execution: drive stimuli into DUT and reference, compare outputs.
+
+Two backends produce bit-identical :class:`SimulationReport`s:
+
+* the **trace** backend compiles the whole stimulus schedule into one
+  generated closure per (module, testbench shape) pair
+  (:func:`repro.verilog.compile_sim.get_trace_kernel`): stimulus values are
+  preprocessed once into a flat array, the reset/drive/settle/tick sequence is
+  unrolled, and all sampled outputs come back in a single call — no per-point
+  dict or attribute dispatch;
+* the **step-wise** backend drives both devices point by point through the
+  :class:`DeviceUnderTest` interface.  It is the semantic oracle, the only
+  path for behavioural references and interpreter-fallback modules, and the
+  path that reproduces runtime :class:`SimulationError` reports exactly.
+
+Backend selection: ``run_testbench(..., backend=...)`` accepts ``"auto"``
+(trace when both devices are eligible — the default), ``"trace"`` and
+``"stepwise"``; the environment variable ``REPRO_TB_BACKEND`` overrides the
+default for ``"auto"`` callers.  ``REPRO_SIM_BACKEND=interpreter`` also
+disables the trace path under ``"auto"``, since tracing executes compiled
+kernels.
+"""
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
+from repro.verilog.compile_sim import TraceSchedule, get_trace_kernel
 from repro.verilog.simulator import Simulation, SimulationError
 from repro.verilog.vast import VModule
+
+_TB_BACKEND_ENV = "REPRO_TB_BACKEND"
+_TB_BACKENDS = ("auto", "trace", "stepwise")
 
 
 @dataclass(frozen=True)
@@ -166,12 +192,96 @@ class VerilogDevice(DeviceUnderTest):
         return [p.name for p in self.module.outputs()]
 
 
+def _trace_plan(testbench: Testbench, observed: tuple[str, ...]):
+    """``(TraceSchedule, flat stimulus tuple)`` for this testbench + outputs.
+
+    Memoized on the testbench instance (stimulus programs are immutable by
+    convention), keyed by the observed-output tuple since the default observed
+    list depends on the reference device.
+    """
+    plans = testbench.__dict__.setdefault("_trace_plans", {})
+    plan = plans.get(observed)
+    if plan is None:
+        points: list[tuple[tuple[str, ...], int, bool]] = []
+        stimulus: list[int] = []
+        for point in testbench.points:
+            points.append((tuple(point.inputs), point.clock_cycles, point.check))
+            stimulus.extend(point.inputs.values())
+        schedule = TraceSchedule(
+            clock=testbench.clock,
+            reset=testbench.reset,
+            reset_cycles=testbench.reset_cycles,
+            observed=observed,
+            points=tuple(points),
+        )
+        plan = plans[observed] = (schedule, tuple(stimulus))
+    return plan
+
+
+def _run_testbench_trace(
+    dut: VModule, reference: VModule, testbench: Testbench
+) -> SimulationReport | None:
+    """Trace-compiled run; ``None`` when the pairing needs the step-wise path."""
+    observed = testbench.observed_outputs
+    if observed is None:
+        observed = [port.name for port in reference.outputs()]
+    schedule, stimulus = _trace_plan(testbench, tuple(observed))
+    dut_kernel = get_trace_kernel(dut, schedule)
+    if dut_kernel is None:
+        return None
+    ref_kernel = get_trace_kernel(reference, schedule)
+    if ref_kernel is None:
+        return None
+
+    dut_out = dut_kernel.run(stimulus)
+    ref_out = ref_kernel.run(stimulus)
+
+    report = SimulationReport(total_points=len(testbench.points))
+    cursor = 0
+    width = len(observed)
+    for index, point in enumerate(testbench.points):
+        if not point.check:
+            continue
+        report.checked_points += 1
+        point_failed = False
+        for position, signal in enumerate(observed):
+            expected = ref_out[cursor + position]
+            actual = dut_out[cursor + position]
+            if expected != actual:
+                point_failed = True
+                if len(report.mismatches) < testbench.max_mismatches:
+                    report.mismatches.append(
+                        Mismatch(index, signal, dict(point.inputs), expected, actual, point.comment)
+                    )
+        cursor += width
+        if point_failed:
+            report.failed_points += 1
+    return report
+
+
 def run_testbench(
     dut: DeviceUnderTest | VModule,
     reference: DeviceUnderTest | VModule,
     testbench: Testbench,
+    backend: str | None = None,
 ) -> SimulationReport:
     """Run ``testbench`` on both devices and compare outputs point by point."""
+    resolved = backend if backend is not None else os.environ.get(_TB_BACKEND_ENV) or "auto"
+    if resolved not in _TB_BACKENDS:
+        raise SimulationError(
+            f"unknown testbench backend {resolved!r}; expected one of {_TB_BACKENDS}"
+        )
+    if resolved == "auto" and os.environ.get("REPRO_SIM_BACKEND") == "interpreter":
+        resolved = "stepwise"  # honour the forced-interpreter knob
+    if (
+        resolved in ("auto", "trace")
+        and isinstance(dut, VModule)
+        and isinstance(reference, VModule)
+    ):
+        report = _run_testbench_trace(dut, reference, testbench)
+        if report is not None:
+            return report
+
     if isinstance(dut, VModule):
         dut = VerilogDevice(dut)
     if isinstance(reference, VModule):

@@ -5,19 +5,45 @@ one call, the way the paper's Compiler step wraps ``sbt``/firtool.  Every
 failure mode is reported as a list of :class:`~repro.chisel.diagnostics.Diagnostic`
 so the Reviewer can consume a uniform error list regardless of which stage
 failed.
+
+Compilation is incremental: beyond the whole-result memo keyed on exact
+source text, every stage boundary has its own content-addressed cache —
+parse by source hash (:func:`~repro.chisel.parser.parse_source_cached`),
+elaboration per module-class structural hash
+(:func:`~repro.chisel.elaborator.elaborate`), the FIRRTL pass pipeline and
+Verilog emission per circuit fingerprint.  A ReChisel revision therefore only
+re-runs the stages whose *input* structurally changed: candidates differing
+in comments, whitespace or an unrelated class skip straight to the cached
+Verilog, feeding the parsed-module and kernel caches downstream.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.caching import LruCache, text_key
+from repro.caching import LruCache, get_or_compute, text_key
 from repro.diagnostics import ChiselError, Diagnostic, DiagnosticList, Severity
 from repro.chisel.elaborator import elaborate
-from repro.chisel.parser import parse_source
+from repro.chisel.parser import parse_source_cached
 from repro.firrtl import ir
-from repro.firrtl.pass_manager import PassManager
+from repro.firrtl.pass_manager import PassManager, circuit_fingerprint
 from repro.verilog.emitter import EmitterError, emit_verilog
+
+# Emission cache (stage 4): the emitter is a pure function of the lowered
+# circuit, which is shared between cache-hitting compiles, so its fingerprint
+# is usually already memoized on the module objects.
+_emit_cache: LruCache[object] = LruCache(256, name="verilog_emit")
+
+
+def _emit_cached(circuit: ir.Circuit) -> str:
+    try:
+        key = circuit_fingerprint(circuit)
+    except RecursionError:
+        return emit_verilog(circuit)
+    return get_or_compute(
+        _emit_cache, key, lambda: emit_verilog(circuit), cache_exceptions=(EmitterError,)
+    )
+
 
 # Compilation stages, reported so experiments can attribute errors.
 STAGE_PARSE = "parse"
@@ -71,7 +97,7 @@ class ChiselCompiler:
     def __init__(self, top: str | None = None, cache_size: int | None = 128):
         self.top = top
         self.pass_manager = PassManager()
-        self._cache: LruCache[CompileResult] = LruCache(cache_size)
+        self._cache: LruCache[CompileResult] = LruCache(cache_size, name="chisel_compile")
 
     @property
     def cache_stats(self) -> dict[str, int]:
@@ -89,7 +115,7 @@ class ChiselCompiler:
 
     def _compile(self, source: str, top: str | None) -> CompileResult:
         try:
-            program = parse_source(source)
+            program = parse_source_cached(source)
         except ChiselError as exc:
             return CompileResult(False, diagnostics=[exc.diagnostic], stage=STAGE_PARSE)
         except RecursionError:
@@ -106,7 +132,7 @@ class ChiselCompiler:
         except ChiselError as exc:
             return CompileResult(False, diagnostics=[exc.diagnostic], stage=STAGE_ELABORATE)
 
-        result = self.pass_manager.run(circuit)
+        result = self.pass_manager.run_cached(circuit)
         if not result.ok:
             return CompileResult(
                 False,
@@ -116,7 +142,7 @@ class ChiselCompiler:
             )
 
         try:
-            verilog = emit_verilog(result.circuit)
+            verilog = _emit_cached(result.circuit)
         except EmitterError as exc:
             return CompileResult(
                 False,

@@ -15,7 +15,7 @@ from repro.sim.testbench import DeviceUnderTest, SimulationReport, Testbench, ru
 from repro.verilog.parser import VerilogParseError, parse_verilog
 from repro.verilog.vast import VModule
 
-_parse_cache: LruCache[list[VModule]] = LruCache(256)
+_parse_cache: LruCache[list[VModule]] = LruCache(256, name="verilog_parse")
 
 
 def _parse_cached(source: str) -> list[VModule]:

@@ -1,0 +1,344 @@
+"""Batched verification engine: trace-backend differential suite and
+incremental-compile coverage.
+
+The trace backend must produce bit-identical :class:`SimulationReport`s to the
+step-wise oracle — same mismatch ordering, same unchecked-point flush
+semantics — for every golden design and for injected-fault mutants.  The
+stage-level compile caches must replay identical results (including failures)
+and re-run only the stages whose input structurally changed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caching import cache_stats, clear_registered_caches
+from repro.problems.mutations import applicable_syntax_faults
+from repro.problems.registry import build_default_registry
+from repro.sim.testbench import FunctionalPoint, Testbench, run_testbench
+from repro.toolchain.compiler import ChiselCompiler
+from repro.verilog.compile_sim import (
+    clear_kernel_cache,
+    get_trace_kernel,
+    kernel_cache_stats,
+)
+from repro.verilog.parser import parse_verilog
+from repro.verilog.simulator import SimulationError
+
+REGISTRY = build_default_registry()
+COMPILER = ChiselCompiler(top="TopModule")
+
+
+def _golden_module(problem):
+    result = COMPILER.compile(problem.golden_chisel)
+    assert result.success, problem.problem_id
+    return parse_verilog(result.verilog)[-1]
+
+
+class TestTraceDifferentialGoldens:
+    def test_every_golden_design_matches_stepwise(self):
+        """Trace and step-wise reports are equal on all 216 golden designs."""
+        for problem in REGISTRY:
+            module = _golden_module(problem)
+            testbench = problem.build_testbench()
+            stepwise = run_testbench(module, module, testbench, backend="stepwise")
+            trace = run_testbench(module, module, testbench, backend="trace")
+            assert stepwise == trace, problem.problem_id
+            assert trace.passed, problem.problem_id
+
+    def test_every_golden_design_is_trace_eligible(self):
+        """No golden pairing should need the step-wise fallback."""
+        fallbacks = []
+        for problem in REGISTRY:
+            module = _golden_module(problem)
+            testbench = problem.build_testbench()
+            observed = tuple(port.name for port in module.outputs())
+            from repro.sim.testbench import _trace_plan
+
+            schedule, _ = _trace_plan(testbench, observed)
+            if get_trace_kernel(module, schedule) is None:
+                fallbacks.append(problem.problem_id)
+        assert fallbacks == []
+
+
+class TestTraceDifferentialMutants:
+    def test_behavior_breaking_mutants_match_stepwise(self):
+        """Functional-fault mutants produce identical mismatch reports.
+
+        This is the path that matters for ReChisel: a faulty candidate against
+        the golden reference, with real mismatches, truncation at
+        ``max_mismatches`` and identical mismatch ordering.
+        """
+        compared = failing = 0
+        for problem in REGISTRY:
+            golden = _golden_module(problem)
+            testbench = problem.build_testbench()
+            for fault in problem.functional_faults:
+                if not fault.applies_to(problem.golden_chisel):
+                    continue
+                result = COMPILER.compile(fault.apply(problem.golden_chisel))
+                if not result.success:
+                    continue
+                mutant = parse_verilog(result.verilog)[-1]
+                stepwise = run_testbench(mutant, golden, testbench, backend="stepwise")
+                trace = run_testbench(mutant, golden, testbench, backend="trace")
+                assert stepwise == trace, (problem.problem_id, fault.fault_id)
+                compared += 1
+                failing += 0 if stepwise.passed else 1
+        assert compared >= 200
+        assert failing >= 150  # the suite must actually exercise mismatch paths
+
+    def test_compile_breaking_mutants_replay_identically(self):
+        """Syntax-fault mutants fail compilation the same through warm caches.
+
+        The staged pipeline memoizes failures per stage; a second compiler
+        instance hitting those caches must render byte-identical feedback.
+        """
+        checked = 0
+        for problem in list(REGISTRY)[::9]:  # stride: one per family bucket
+            for fault in applicable_syntax_faults(problem.golden_chisel, problem)[:3]:
+                source = fault.apply(problem.golden_chisel, problem)
+                cold = ChiselCompiler(top="TopModule", cache_size=None).compile(source)
+                warm = ChiselCompiler(top="TopModule", cache_size=None).compile(source)
+                assert cold.success == warm.success
+                assert cold.stage == warm.stage
+                assert cold.render_feedback() == warm.render_feedback()
+                checked += 1
+        assert checked >= 30
+
+
+LATCH = """
+module m(input en, input [3:0] d, output reg [3:0] q);
+  always @(*) begin
+    if (en) q = d;
+  end
+endmodule
+"""
+
+PASSTHROUGH = """
+module m(input en, input [3:0] d, output [3:0] q);
+  assign q = d;
+endmodule
+"""
+
+
+class TestTraceSemantics:
+    def test_unchecked_point_flush_semantics(self):
+        """Unchecked stimuli must settle before the next point (latch parity)."""
+        latch = parse_verilog(LATCH)[0]
+        testbench = Testbench(
+            points=[
+                FunctionalPoint(inputs={"en": 1, "d": 5}, check=False),
+                FunctionalPoint(inputs={"en": 0, "d": 0}),
+            ],
+            observed_outputs=["q"],
+            reset_cycles=0,
+        )
+        stepwise = run_testbench(latch, latch, testbench, backend="stepwise")
+        trace = run_testbench(latch, latch, testbench, backend="trace")
+        assert stepwise == trace
+        assert trace.passed
+
+    def test_mismatch_cap_and_ordering(self):
+        dut = parse_verilog("module m(input [3:0] d, output [3:0] q);\n  assign q = d + 1;\nendmodule\n")[0]
+        ref = parse_verilog("module m(input [3:0] d, output [3:0] q);\n  assign q = d;\nendmodule\n")[0]
+        testbench = Testbench(
+            points=[FunctionalPoint(inputs={"d": value}) for value in range(16)],
+            observed_outputs=["q"],
+            reset_cycles=0,
+            max_mismatches=5,
+        )
+        stepwise = run_testbench(dut, ref, testbench, backend="stepwise")
+        trace = run_testbench(dut, ref, testbench, backend="trace")
+        assert stepwise == trace
+        assert trace.failed_points == 16 and len(trace.mismatches) == 5
+        assert [m.point_index for m in trace.mismatches] == list(range(5))
+
+    def test_trace_falls_back_for_interpreter_modules(self):
+        """A combinational cycle keeps the step-wise/interpreter path."""
+        loop = parse_verilog(
+            "module m(input a, output x, y);\n"
+            "  assign x = y | a;\n  assign y = x & a;\nendmodule\n"
+        )[0]
+        testbench = Testbench(points=[FunctionalPoint(inputs={"a": 0})], reset_cycles=0)
+        report = run_testbench(loop, loop, testbench, backend="trace")
+        assert report.passed  # value-stable cycle settles in the interpreter
+
+    def test_trace_falls_back_on_port_mismatch_error(self):
+        """Port mismatches must reproduce the step-wise error report exactly."""
+        dut = parse_verilog("module m(input a, output x);\n  assign x = a;\nendmodule\n")[0]
+        ref = parse_verilog("module m(input a, input b, output x);\n  assign x = a & b;\nendmodule\n")[0]
+        testbench = Testbench(
+            points=[FunctionalPoint(inputs={"a": 1, "b": 1})], reset_cycles=0
+        )
+        stepwise = run_testbench(dut, ref, testbench, backend="stepwise")
+        trace = run_testbench(dut, ref, testbench, backend="trace")
+        assert stepwise == trace
+        assert trace.runtime_error is not None and "no port named 'b'" in trace.runtime_error
+
+    def test_backend_env_override(self, monkeypatch):
+        module = parse_verilog(PASSTHROUGH)[0]
+        testbench = Testbench(
+            points=[FunctionalPoint(inputs={"en": 0, "d": 3})],
+            observed_outputs=["q"],
+            reset_cycles=0,
+        )
+        monkeypatch.setenv("REPRO_TB_BACKEND", "stepwise")
+        before = kernel_cache_stats()
+        assert run_testbench(module, module, testbench).passed
+        after = kernel_cache_stats()
+        assert after["trace_hits"] == before["trace_hits"]
+        assert after["trace_misses"] == before["trace_misses"]
+
+    def test_forced_interpreter_disables_trace_under_auto(self, monkeypatch):
+        module = parse_verilog(PASSTHROUGH)[0]
+        testbench = Testbench(
+            points=[FunctionalPoint(inputs={"en": 0, "d": 3})],
+            observed_outputs=["q"],
+            reset_cycles=0,
+        )
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "interpreter")
+        before = kernel_cache_stats()
+        assert run_testbench(module, module, testbench).passed
+        after = kernel_cache_stats()
+        assert after["trace_misses"] == before["trace_misses"]
+
+    def test_consecutive_empty_points_do_not_break_codegen(self):
+        """Runs of points that compile to no code must not emit empty loops."""
+        module = parse_verilog(PASSTHROUGH)[0]
+        testbench = Testbench(
+            points=[
+                FunctionalPoint(inputs={"en": 0, "d": 7}),
+                FunctionalPoint(inputs={}, check=False),
+                FunctionalPoint(inputs={}, check=False),
+                FunctionalPoint(inputs={"en": 0, "d": 3}),
+            ],
+            observed_outputs=["q"],
+            reset_cycles=0,
+        )
+        stepwise = run_testbench(module, module, testbench, backend="stepwise")
+        trace = run_testbench(module, module, testbench, backend="trace")
+        assert stepwise == trace
+        assert trace.checked_points == 2
+
+    def test_huge_clock_cycle_counts_fall_back(self):
+        """Unrollable-but-enormous schedules must fall back, not allocate."""
+        module = parse_verilog(
+            "module m(input clock, input [3:0] d, output reg [3:0] q);\n"
+            "  always @(posedge clock) q <= d;\nendmodule\n"
+        )[0]
+        testbench = Testbench(
+            points=[FunctionalPoint(inputs={"d": 9}, clock_cycles=70_000)],
+            observed_outputs=["q"],
+            reset_cycles=0,
+        )
+        stepwise = run_testbench(module, module, testbench, backend="stepwise")
+        trace = run_testbench(module, module, testbench, backend="trace")
+        assert stepwise == trace
+        assert trace.passed
+
+    def test_unknown_backend_raises(self):
+        module = parse_verilog(PASSTHROUGH)[0]
+        testbench = Testbench(points=[], reset_cycles=0)
+        with pytest.raises(SimulationError):
+            run_testbench(module, module, testbench, backend="warp")
+
+    def test_trace_kernels_are_cached_per_module_and_shape(self):
+        clear_kernel_cache()
+        module = parse_verilog(PASSTHROUGH)[0]
+        testbench = Testbench(
+            points=[FunctionalPoint(inputs={"en": 0, "d": value}) for value in range(4)],
+            observed_outputs=["q"],
+            reset_cycles=0,
+        )
+        first = run_testbench(module, module, testbench, backend="trace")
+        second = run_testbench(module, module, testbench, backend="trace")
+        assert first == second
+        stats = kernel_cache_stats()
+        # dut and reference share the module: one compile, three cache hits.
+        assert stats["trace_misses"] == 1 and stats["trace_hits"] == 3
+        clear_kernel_cache()
+        assert kernel_cache_stats()["trace_size"] == 0
+
+
+TWO_MODULES = """class Helper extends Module {
+  val io = IO(new Bundle { val a = Input(UInt(4.W)); val y = Output(UInt(4.W)) })
+  io.y := io.a + 1.U
+}
+class TopModule extends Module {
+  val io = IO(new Bundle { val a = Input(UInt(4.W)); val y = Output(UInt(4.W)) })
+  io.y := io.a - 1.U
+}
+"""
+
+
+class TestIncrementalCompile:
+    def test_cosmetic_revision_skips_every_stage_after_parse(self):
+        source = REGISTRY.by_id("alu_w8").golden_chisel
+        compiler = ChiselCompiler(top="TopModule", cache_size=None)
+        first = compiler.compile(source)
+        before = cache_stats()
+        second = compiler.compile("// revised attempt k+1\n\n" + source)
+        after = cache_stats()
+        assert first.success and second.success
+        assert first.verilog == second.verilog
+        for stage in ("chisel_elaborate", "firrtl_passes", "verilog_emit"):
+            assert after[stage]["hits"] == before[stage]["hits"] + 1, stage
+            assert after[stage]["misses"] == before[stage]["misses"], stage
+        assert after["chisel_parse"]["misses"] == before["chisel_parse"]["misses"] + 1
+
+    def test_one_module_edit_reelaborates_only_that_module(self):
+        compiler = ChiselCompiler(cache_size=None)
+        for top in ("Helper", "TopModule"):
+            assert compiler.compile(TWO_MODULES, top=top).success
+        before = cache_stats()["chisel_elaborate"]
+        edited = TWO_MODULES.replace("io.a - 1.U", "io.a - 2.U")  # edits TopModule
+        for top in ("Helper", "TopModule"):
+            assert compiler.compile(edited, top=top).success
+        after = cache_stats()["chisel_elaborate"]
+        assert after["misses"] == before["misses"] + 1  # only TopModule re-ran
+        assert after["hits"] >= before["hits"] + 1  # Helper was reused
+
+    def test_elaboration_failures_replay(self):
+        source = REGISTRY.by_id("alu_w8").golden_chisel.replace(" := ", " == ", 1)
+        cold = ChiselCompiler(top="TopModule", cache_size=None).compile(source)
+        warm = ChiselCompiler(top="TopModule", cache_size=None).compile(source)
+        assert not cold.success and not warm.success
+        assert cold.render_feedback() == warm.render_feedback()
+
+
+class TestCacheRegistry:
+    def test_registry_covers_every_stage(self):
+        COMPILER.compile(REGISTRY.by_id("alu_w8").golden_chisel)
+        stats = cache_stats()
+        for name in (
+            "chisel_parse",
+            "chisel_elaborate",
+            "chisel_compile",
+            "firrtl_passes",
+            "verilog_emit",
+            "verilog_parse",
+            "sim_kernel",
+            "sim_trace",
+        ):
+            assert name in stats, name
+            counters = stats[name]
+            assert set(counters) == {"hits", "misses", "size", "instances"}
+
+    def test_clear_registered_caches_resets_counters(self):
+        compiler = ChiselCompiler(top="TopModule")
+        source = REGISTRY.by_id("alu_w8").golden_chisel
+        compiler.compile(source)
+        compiler.compile(source)
+        assert compiler.cache_stats["hits"] >= 1
+        clear_registered_caches()
+        stats = cache_stats()
+        for counters in stats.values():
+            assert counters["hits"] == 0 and counters["misses"] == 0 and counters["size"] == 0
+
+    def test_snapshot_surfaces_cache_stats(self):
+        from repro.service.telemetry import Telemetry
+
+        snapshot = Telemetry().snapshot()
+        assert "sim_trace" in snapshot.caches
+        assert "toolchain caches" in snapshot.render()
