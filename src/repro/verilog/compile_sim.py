@@ -26,8 +26,10 @@ caller falls back to the interpreter, which stays the semantic oracle.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Callable
+from functools import cached_property
+from typing import Callable, Sequence
 
 from repro.caching import LruCache
 from repro.hdl.bits import mask as _mask
@@ -44,8 +46,12 @@ __all__ = [
     "AnalysisError",
     "CombLoopError",
     "KernelTemplate",
+    "TraceKernel",
+    "TraceSchedule",
     "compile_kernel",
+    "compile_trace",
     "get_kernel",
+    "get_trace_kernel",
     "kernel_cache_stats",
     "clear_kernel_cache",
 ]
@@ -499,10 +505,253 @@ def compile_kernel(module: vast.VModule, analysis: ModuleAnalysis | None = None)
 
 
 # ---------------------------------------------------------------------------
-# Kernel cache
+# Trace kernels: one compiled closure for a whole stimulus schedule
+# ---------------------------------------------------------------------------
+#
+# run_testbench's step-wise loop pays dict/attr dispatch per functional point:
+# a drive() walking an inputs dict, a tick() with per-cycle settle bookkeeping
+# and one read() per observed output.  A *trace kernel* compiles the whole
+# schedule for one (module, testbench shape) pair into a single generated
+# function: stimulus values arrive as one flat array, the reset/drive/settle/
+# tick sequence is unrolled (uniform runs of points are re-rolled into a tight
+# loop so codegen stays O(distinct point shapes)), and every sampled output is
+# appended to one flat result list.  The generated code replays exactly the
+# comb()/step() call sequence the deferred-settle step-wise path performs, so
+# sampled values are bit-identical by construction.
+
+
+@dataclass(frozen=True)
+class TraceSchedule:
+    """Structural digest of a testbench: shapes, not stimulus values.
+
+    ``points`` holds ``(input_names, clock_cycles, check)`` per functional
+    point; the actual driven values are passed to :meth:`TraceKernel.run` as a
+    flat array in the same order, so one compiled trace serves any stimulus
+    with the same shape.
+    """
+
+    clock: str
+    reset: str
+    reset_cycles: int
+    observed: tuple[str, ...]
+    points: tuple[tuple[tuple[str, ...], int, bool], ...]
+
+    @cached_property
+    def digest(self) -> str:
+        payload = repr(
+            (self.clock, self.reset, self.reset_cycles, self.observed, self.points)
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class TraceKernel:
+    """A compiled (module, schedule) pair: the whole testbench in one call."""
+
+    module_name: str
+    fingerprint: str
+    digest: str
+    run: Callable[[Sequence[int]], list[int]]
+    source: str = ""
+
+
+_TRACE_LINE_BUDGET = 60_000
+
+
+class _TraceGen:
+    def __init__(self, kernel: KernelTemplate, schedule: TraceSchedule, has_edge: bool):
+        self.kernel = kernel
+        self.schedule = schedule
+        self.has_edge = has_edge
+        self.lines: list[str] = []
+
+    def emit(self, indent: int, text: str) -> None:
+        if len(self.lines) > _TRACE_LINE_BUDGET:
+            raise AnalysisError(
+                f"trace for module {self.kernel.module_name} exceeds the "
+                "generated-code budget"
+            )
+        self.lines.append("    " * indent + text)
+
+    def point_body(
+        self,
+        names: tuple[str, ...],
+        cycles: int,
+        check: bool,
+        needs_settle: bool,
+        stim_index: Callable[[int], str],
+    ) -> tuple[list[str], bool]:
+        """Code for one functional point; returns (lines, needs_settle_after).
+
+        Mirrors the step-wise path statically: drives defer their settle, each
+        clock edge settles the pending state first, and a checked read (or the
+        unchecked-point flush) settles once before sampling.
+        """
+        if cycles > _TRACE_LINE_BUDGET:
+            # Guard before unrolling: the budget in emit() only sees lines
+            # after this local list is fully built.
+            raise AnalysisError(
+                f"trace for module {self.kernel.module_name} exceeds the "
+                "generated-code budget"
+            )
+        slots = self.kernel.slots
+        lines: list[str] = []
+        for position, name in enumerate(names):
+            meta = slots[name]
+            lines.append(f"s[{meta.slot}] = stim[{stim_index(position)}] & {meta.mask}")
+        if names:
+            needs_settle = True
+        for _ in range(cycles):
+            if needs_settle:
+                lines.append("comb(s)")
+            if self.has_edge:
+                lines.append("step(s)")
+            needs_settle = True
+        if check:
+            if self.schedule.observed:
+                if needs_settle:
+                    lines.append("comb(s)")
+                needs_settle = False
+                for name in self.schedule.observed:
+                    lines.append(f"ap(s[{slots[name].slot}])")
+        else:
+            # Unchecked points flush: the deferred stimulus must settle before
+            # the next point overwrites it (latch-like designs observe this).
+            if needs_settle:
+                lines.append("comb(s)")
+            needs_settle = False
+        return lines, needs_settle
+
+
+def compile_trace(
+    module: vast.VModule, schedule: TraceSchedule, kernel: KernelTemplate | None = None
+) -> TraceKernel:
+    """Compile the whole ``schedule`` against ``module`` into one closure.
+
+    Raises :class:`AnalysisError` when the step-wise path could raise a
+    runtime :class:`SimulationError` for this pairing (missing input/clock/
+    observed port): those runs must keep their exact step-wise error report,
+    so the caller falls back.
+    """
+    kernel = kernel if kernel is not None else compile_kernel(module)
+    ports = {port.name for port in module.ports}
+
+    for names, cycles, _check in schedule.points:
+        for name in names:
+            if name not in ports:
+                raise AnalysisError(
+                    f"module {module.name} has no port named {name!r}"
+                )
+        if cycles > 0 and schedule.clock not in ports:
+            raise AnalysisError(
+                f"module {module.name} has no clock port {schedule.clock!r}"
+            )
+    for name in schedule.observed:
+        if name not in ports:
+            raise AnalysisError(
+                f"module {module.name} has no output port named {name!r}"
+            )
+
+    edge = kernel.steps.get(schedule.clock)
+    gen = _TraceGen(kernel, schedule, has_edge=edge is not None)
+    gen.emit(0, "def trace(s, stim, ap):")
+    # Simulation.__post_init__ settles the freshly-zeroed state once.
+    gen.emit(1, "comb(s)")
+    needs_settle = False
+
+    if schedule.reset_cycles > 0 and schedule.reset in ports:
+        meta = kernel.slots[schedule.reset]
+        gen.emit(1, f"s[{meta.slot}] = {1 & meta.mask}")
+        needs_settle = True
+        for _ in range(schedule.reset_cycles):
+            if needs_settle:
+                gen.emit(1, "comb(s)")
+            if edge is not None:
+                gen.emit(1, "step(s)")
+            needs_settle = True
+        if needs_settle:
+            gen.emit(1, "comb(s)")  # deassertion-order flush
+        gen.emit(1, f"s[{meta.slot}] = 0")
+        gen.emit(1, "comb(s)")  # eager settle of the deasserted reset
+        needs_settle = False
+
+    # Group consecutive identical point shapes and re-roll them into loops.
+    offset = 0
+    index = 0
+    points = schedule.points
+    while index < len(points):
+        spec = points[index]
+        length = 1
+        while index + length < len(points) and points[index + length] == spec:
+            length += 1
+        names, cycles, check = spec
+        body, after = gen.point_body(
+            names, cycles, check, needs_settle, lambda j: f"i + {j}" if j else "i"
+        )
+        stable = False
+        if length > 1:
+            body_next, after_next = gen.point_body(
+                names, cycles, check, after, lambda j: f"i + {j}" if j else "i"
+            )
+            stable = body == body_next and after == after_next
+        if stable:
+            # A run can compile to nothing (no inputs, no cycles, nothing to
+            # sample): emitting a bodyless for-loop would be a syntax error.
+            if body:
+                if names:
+                    gen.emit(1, f"i = {offset}")
+                gen.emit(1, f"for _ in range({length}):")
+                for line in body:
+                    gen.emit(2, line)
+                if names:
+                    gen.emit(2, f"i += {len(names)}")
+            needs_settle = after
+            offset += length * len(names)
+            index += length
+        else:
+            for _ in range(length):
+                body, needs_settle = gen.point_body(
+                    names,
+                    cycles,
+                    check,
+                    needs_settle,
+                    lambda j, base=offset: str(base + j),
+                )
+                for line in body:
+                    gen.emit(1, line)
+                offset += len(names)
+                index += 1
+    gen.emit(1, "return None")
+
+    source = "\n".join(gen.lines)
+    namespace: dict[str, object] = {"comb": kernel.comb}
+    if edge is not None:
+        namespace["step"] = edge
+    exec(compile(source, f"<trace:{module.name}>", "exec"), namespace)
+    trace_fn = namespace["trace"]
+    new_state = kernel.new_state
+
+    def run(stim: Sequence[int]) -> list[int]:
+        state = new_state()
+        out: list[int] = []
+        trace_fn(state, stim, out.append)
+        return out
+
+    return TraceKernel(
+        module_name=module.name,
+        fingerprint=kernel.fingerprint,
+        digest=schedule.digest,
+        run=run,
+        source=source,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Kernel caches
 # ---------------------------------------------------------------------------
 
-_cache: LruCache[KernelTemplate | None] = LruCache(256)
+_cache: LruCache[KernelTemplate | None] = LruCache(256, name="sim_kernel")
+_trace_cache: LruCache[TraceKernel | None] = LruCache(512, name="sim_trace")
 _fallbacks = [0]
 _MISSING = object()
 
@@ -539,10 +788,48 @@ def get_kernel(module: vast.VModule) -> KernelTemplate | None:
     return _cache.put(fingerprint, template)
 
 
+def get_trace_kernel(module: vast.VModule, schedule: TraceSchedule) -> TraceKernel | None:
+    """Cached trace kernel for ``(module, schedule)``; ``None`` means step-wise.
+
+    Ineligible pairings (module outside the compiled subset, or a port mismatch
+    whose step-wise run raises a :class:`SimulationError` that must be
+    reproduced verbatim) are negatively cached, so iterative-repair sweeps that
+    retry the same candidate skip re-analysis.
+    """
+    kernel = get_kernel(module)
+    if kernel is None:
+        return None
+    key = f"{kernel.fingerprint}:{schedule.digest}"
+    cached = _trace_cache.get(key, _MISSING)
+    if cached is not _MISSING:
+        return cached
+    try:
+        trace: TraceKernel | None = compile_trace(module, schedule, kernel)
+    except (AnalysisError, SyntaxError):
+        # SyntaxError is a codegen bug tripwire: deterministic for the
+        # pairing, so demote it to the step-wise path rather than crash.
+        return _trace_cache.put(key, None)
+    except (RecursionError, ValueError):
+        # Stack-depth dependent or degenerate-width failures: fall back for
+        # this call without demoting the pairing permanently.
+        return None
+    return _trace_cache.put(key, trace)
+
+
 def kernel_cache_stats() -> dict[str, int]:
-    return dict(_cache.stats, fallbacks=_fallbacks[0], size=len(_cache))
+    """Counters for both the per-module kernel and the trace-kernel caches."""
+    return dict(
+        _cache.stats,
+        fallbacks=_fallbacks[0],
+        size=len(_cache),
+        trace_hits=_trace_cache.stats["hits"],
+        trace_misses=_trace_cache.stats["misses"],
+        trace_size=len(_trace_cache),
+    )
 
 
 def clear_kernel_cache() -> None:
+    """Empty the kernel *and* trace caches (benchmarks force cold runs here)."""
     _cache.clear()
+    _trace_cache.clear()
     _fallbacks[0] = 0
