@@ -9,8 +9,10 @@ Covers the raw toolchain throughput (compile + simulate one case), the
 batched verification engine (cold candidate, warm iteration-k+1 and trace vs
 step-wise testbench backends, with asserted minimum speedups), the
 sweep-engine throughput (quick-scale Table I sweep: serial vs parallel
-executors, cold vs warm result store) and the generation-service throughput
-(serial latency baseline vs concurrency-32 service vs warm result cache).
+executors, cold vs warm result store), the generation-service throughput
+(serial latency baseline vs concurrency-32 service vs warm result cache) and
+the differential-fuzzing engine (generated programs conformance-checked per
+second).
 The output is pytest-benchmark's JSON
 format (one entry per benchmark with min/mean/stddev/rounds), written to
 ``BENCH_toolchain.json`` at the repo root by default.  Commit-over-commit
@@ -39,6 +41,7 @@ def main(argv: list[str]) -> int:
             os.path.join(root, "benchmarks", "test_verify_throughput.py"),
             os.path.join(root, "benchmarks", "test_sweep_throughput.py"),
             os.path.join(root, "benchmarks", "test_service_throughput.py"),
+            os.path.join(root, "benchmarks", "test_fuzz_throughput.py"),
             "--benchmark-only",
             f"--benchmark-json={output}",
             "-q",

@@ -17,6 +17,8 @@ Three variants are tracked:
   Chisel compile on every round.
 """
 
+import pytest
+
 from repro.problems.registry import build_default_registry
 from repro.toolchain.compiler import ChiselCompiler
 from repro.toolchain.simulator import Simulator
@@ -42,6 +44,7 @@ def test_compile_and_simulate_alu_interpreter(benchmark, monkeypatch):
     benchmark(_compile_and_simulate)
 
 
+@pytest.mark.cache_mutating
 def test_simulate_alu_cold_compile(benchmark):
     from repro.caching import clear_registered_caches
     from repro.verilog.compile_sim import clear_kernel_cache

@@ -31,6 +31,8 @@ import random
 import statistics
 import time
 
+import pytest
+
 from conftest import run_once
 
 from repro.caching import clear_registered_caches
@@ -114,10 +116,12 @@ def _baseline() -> float:
     return _timings["baseline"]
 
 
+@pytest.mark.cache_mutating
 def test_verify_cold_stepwise_full_recompile(benchmark):
     _timings["baseline"] = run_once(benchmark, _run_baseline)
 
 
+@pytest.mark.cache_mutating
 def test_verify_cold_candidate_trace(benchmark):
     compiler = ChiselCompiler(top="TopModule", cache_size=4096)
     clear_registered_caches()

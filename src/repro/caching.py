@@ -176,6 +176,36 @@ def clear_registered_caches() -> None:
             cache.clear()
 
 
+def snapshot_registered_caches() -> list[tuple["LruCache", "OrderedDict", dict]]:
+    """Capture the contents and counters of every registered cache.
+
+    Used by test isolation (see the repo-root ``conftest.py``): a test that clears or
+    cold-starts the global caches runs between :func:`snapshot_registered_caches`
+    and :func:`restore_registered_caches`, so the rest of the suite keeps its
+    warm state regardless of test ordering.  The snapshot holds strong
+    references to the cache instances, so keep it short-lived.
+    """
+    snapshot = []
+    for instances in _live_caches().values():
+        for cache in instances:
+            with cache._lock:
+                snapshot.append((cache, OrderedDict(cache._data), dict(cache.stats)))
+    return snapshot
+
+
+def restore_registered_caches(snapshot: list[tuple["LruCache", "OrderedDict", dict]]) -> None:
+    """Put every snapshotted cache back exactly as captured.
+
+    Caches registered after the snapshot was taken are left untouched (they
+    did not exist before the test, so there is no prior state to restore).
+    """
+    for cache, data, stats in snapshot:
+        with cache._lock:
+            cache._data.clear()
+            cache._data.update(data)
+            cache.stats.update(stats)
+
+
 class LruCache(Generic[V]):
     """Bounded insertion-refreshing cache with hit/miss counters.
 

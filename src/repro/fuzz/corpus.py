@@ -1,0 +1,161 @@
+"""Persistent corpus of fuzz findings and interesting survivors.
+
+JSON-lines, one record per line, in the mould of the sweep engine's
+:class:`~repro.experiments.store.ResultStore`: append-only writes with a
+flush per record (crash-tolerant), a torn trailing line is skipped on load,
+records carry a schema version and are keyed by the source fingerprint so
+replays and repeated sessions never duplicate entries.
+
+Two record kinds:
+
+* ``survivor`` — a program that passed every conformance check while
+  exercising an interesting feature combination; CI replays these as
+  regression tests (see ``tests/test_fuzz_corpus.py``).
+* ``failure`` — a program that broke a seam, stored together with its shrunk
+  repro and failure signature.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterator
+
+from repro.caching import stable_fingerprint
+
+CORPUS_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One corpus record (survivor or failure)."""
+
+    kind: str  # "survivor" | "failure"
+    source: str
+    top: str
+    tops: tuple[str, ...]
+    sequential: bool
+    seed: int
+    index: int
+    config_fingerprint: str
+    features: tuple[str, ...] = ()
+    failure: dict | None = None
+    shrunk_source: str | None = None
+
+    @property
+    def fingerprint(self) -> str:
+        return stable_fingerprint({"kind": self.kind, "source": self.source})
+
+    def to_record(self) -> dict:
+        record = {
+            "v": CORPUS_VERSION,
+            "kind": self.kind,
+            "fp": self.fingerprint,
+            "seed": self.seed,
+            "index": self.index,
+            "config": self.config_fingerprint,
+            "top": self.top,
+            "tops": list(self.tops),
+            "sequential": self.sequential,
+            "features": list(self.features),
+            "source": self.source,
+        }
+        if self.failure is not None:
+            record["failure"] = self.failure
+        if self.shrunk_source is not None:
+            record["shrunk_source"] = self.shrunk_source
+        return record
+
+    @classmethod
+    def from_record(cls, record: dict) -> "CorpusEntry":
+        return cls(
+            kind=record["kind"],
+            source=record["source"],
+            top=record.get("top", "TopModule"),
+            tops=tuple(record.get("tops", ["TopModule"])),
+            sequential=bool(record.get("sequential", True)),
+            seed=int(record.get("seed", 0)),
+            index=int(record.get("index", 0)),
+            config_fingerprint=record.get("config", ""),
+            features=tuple(record.get("features", [])),
+            failure=record.get("failure"),
+            shrunk_source=record.get("shrunk_source"),
+        )
+
+
+class CorpusStore:
+    """A fingerprint-keyed JSON-lines store of fuzz corpus entries."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self._entries: dict[str, CorpusEntry] = {}
+        self._handle: IO[str] | None = None
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn trailing line from an interrupted session
+                if record.get("v") != CORPUS_VERSION:
+                    continue
+                try:
+                    entry = CorpusEntry.from_record(record)
+                except (KeyError, TypeError, ValueError):
+                    continue
+                self._entries[entry.fingerprint] = entry
+
+    def add(self, entry: CorpusEntry) -> bool:
+        """Record one entry; returns False when it was already present."""
+        if entry.fingerprint in self._entries:
+            return False
+        self._entries[entry.fingerprint] = entry
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(json.dumps(entry.to_record(), sort_keys=True) + "\n")
+        self._handle.flush()
+        return True
+
+    def survivors(self) -> list[CorpusEntry]:
+        return [e for e in self._entries.values() if e.kind == "survivor"]
+
+    def failures(self) -> list[CorpusEntry]:
+        return [e for e in self._entries.values() if e.kind == "failure"]
+
+    def __iter__(self) -> Iterator[CorpusEntry]:
+        return iter(self._entries.values())
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CorpusStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def load_corpus_entries(path: str | os.PathLike) -> list[CorpusEntry]:
+    """Read-only load of a committed corpus (no file handle kept open)."""
+    store = CorpusStore(path)
+    entries = list(store)
+    store.close()
+    return entries

@@ -1,0 +1,167 @@
+"""Automatic minimization of failing fuzz programs.
+
+The shrinker is structural-but-textual: the generator emits one construct per
+line with brace-delimited blocks, so reductions operate on line spans —
+dropping whole classes, deleting or unwrapping ``when``/``switch``/``for``
+blocks, deleting single statements, and simplifying right-hand sides to
+literals.  A reduction is kept only when the caller's predicate still holds
+(normally: the conformance failure keeps the same ``(kind, stage)``
+signature), so the minimized program provably reproduces the original bug.
+
+The loop is greedy with restarts (delta-debugging style): every pass retries
+all reductions from the top until a fixpoint, which on generator-shaped
+sources converges in a handful of rounds.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+_RHS_RE = re.compile(r"^(\s*(?:val \w+ = )?[\w.()\s]*:=\s*)(.+)$")
+_BLOCK_OPEN_RE = re.compile(r"^\s*(when |switch |for |is |\} \.elsewhen|\} \.otherwise).*\{\s*$")
+_CLASS_RE = re.compile(r"^class (\w+)")
+
+
+def _matching_close(lines: list[str], start: int) -> int | None:
+    """Index of the line whose ``}`` closes the ``{`` opened on ``start``."""
+    depth = 0
+    for index in range(start, len(lines)):
+        depth += lines[index].count("{") - lines[index].count("}")
+        if depth <= 0:
+            return index
+    return None
+
+
+def _branch_end(lines: list[str], start: int) -> tuple[int, bool] | None:
+    """End of the branch whose body is opened by the trailing ``{`` on ``start``.
+
+    Works for both plain openers (``when (...) {``) and chain continuations
+    (``} .elsewhen (...) {``, whose net brace count is zero, so plain depth
+    scanning from the line itself would terminate immediately).  Returns
+    ``(index, is_continuation)`` where ``index`` is the line ending the branch
+    — either the next ``} .elsewhen``/``} .otherwise`` continuation at branch
+    depth (``is_continuation=True``) or the chain's closing ``}``.
+    """
+    depth = 1
+    for index in range(start + 1, len(lines)):
+        stripped = lines[index].strip()
+        if depth == 1 and stripped.startswith("} ."):
+            return index, True
+        depth += lines[index].count("{") - lines[index].count("}")
+        if depth <= 0:
+            return index, False
+    return None
+
+
+def _class_spans(lines: list[str]) -> list[tuple[str, int, int]]:
+    spans = []
+    for index, line in enumerate(lines):
+        match = _CLASS_RE.match(line)
+        if match:
+            close = _matching_close(lines, index)
+            if close is not None:
+                spans.append((match.group(1), index, close))
+    return spans
+
+
+def _candidates(lines: list[str]) -> list[list[str]]:
+    """All single-step reductions of ``lines``, most aggressive first."""
+    reductions: list[list[str]] = []
+
+    # 1. Drop a whole class (helper modules, bundle classes).
+    spans = _class_spans(lines)
+    if len(spans) > 1:
+        for _name, start, close in spans:
+            reductions.append(lines[:start] + lines[close + 1 :])
+
+    # 2. Drop or unwrap a brace-delimited block (or one branch of a chain).
+    for index, line in enumerate(lines):
+        if not _BLOCK_OPEN_RE.match(line):
+            continue
+        stripped = line.strip()
+        if stripped.startswith("} ."):
+            # ``} .elsewhen (...) {`` / ``} .otherwise {``: drop just this
+            # branch — up to the next continuation (which keeps the chain
+            # balanced) or the chain's final close (re-emit a plain ``}``).
+            end = _branch_end(lines, index)
+            if end is None:
+                continue
+            close, is_continuation = end
+            if is_continuation:
+                reductions.append(lines[:index] + lines[close:])
+            else:
+                indent = line[: len(line) - len(line.lstrip())]
+                reductions.append(lines[:index] + [indent + "}"] + lines[close + 1 :])
+            continue
+        close = _matching_close(lines, index)
+        if close is None or close <= index:
+            continue
+        # Drop the whole block (for a when-chain this spans every branch) ...
+        reductions.append(lines[:index] + lines[close + 1 :])
+        # ... or unwrap it, keeping the body.  A body containing chain
+        # continuations would unbalance; those candidates just fail the
+        # predicate's parse, so only plain closes are worth emitting.
+        if lines[close].strip() == "}":
+            reductions.append(lines[:index] + lines[index + 1 : close] + lines[close + 1 :])
+
+    # 3. Drop a definition together with every line that mentions it (removes
+    # val/use pairs that single-line deletion cannot break apart).
+    for line in lines:
+        match = re.match(r"^\s*val (\w+) = ", line)
+        if match:
+            name_re = re.compile(rf"\b{re.escape(match.group(1))}\b")
+            reductions.append([l for l in lines if not name_re.search(l)])
+
+    # 4. Drop a single line.
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("import "):
+            continue
+        reductions.append(lines[:index] + lines[index + 1 :])
+
+    # 5. Simplify a right-hand side to a literal.
+    for index, line in enumerate(lines):
+        match = _RHS_RE.match(line)
+        if match and match.group(2).strip() != "0.U":
+            reductions.append(lines[:index] + [match.group(1) + "0.U"] + lines[index + 1 :])
+
+    return reductions
+
+
+def shrink(
+    source: str,
+    predicate: Callable[[str], bool],
+    max_attempts: int = 5000,
+) -> str:
+    """Minimize ``source`` while ``predicate`` (same-failure check) holds.
+
+    ``predicate`` must be true for ``source`` itself; the result is a local
+    minimum — no single remaining reduction preserves the failure.
+    """
+    if not predicate(source):
+        raise ValueError("shrink() requires a source that already fails the predicate")
+    lines = source.splitlines()
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _candidates(lines):
+            attempts += 1
+            if attempts >= max_attempts:
+                break
+            reduced = "\n".join(candidate).rstrip() + "\n"
+            if predicate(reduced):
+                lines = candidate
+                improved = True
+                break  # restart candidate enumeration on the smaller source
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def count_significant_lines(source: str) -> int:
+    """Non-blank, non-import source lines (the ``<= 15 lines`` shrink metric)."""
+    return sum(
+        1
+        for line in source.splitlines()
+        if line.strip() and not line.strip().startswith("import ")
+    )

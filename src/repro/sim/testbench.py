@@ -14,11 +14,17 @@ Two backends produce bit-identical :class:`SimulationReport`s:
   path that reproduces runtime :class:`SimulationError` reports exactly.
 
 Backend selection: ``run_testbench(..., backend=...)`` accepts ``"auto"``
-(trace when both devices are eligible — the default), ``"trace"`` and
+(trace when both devices are eligible — the default), ``"trace"`` (prefer the
+trace path, silently step-wise when the pairing is ineligible) and
 ``"stepwise"``; the environment variable ``REPRO_TB_BACKEND`` overrides the
-default for ``"auto"`` callers.  ``REPRO_SIM_BACKEND=interpreter`` also
-disables the trace path under ``"auto"``, since tracing executes compiled
-kernels.
+default for ``"auto"`` callers.  Forcing the backend through the
+*environment* is stricter than the argument: ``REPRO_TB_BACKEND=trace``
+raises :class:`~repro.verilog.simulator.SimulationError` when the pairing
+cannot trace (behavioural reference, interpreter-only module, oversized
+schedule) instead of silently falling back — a global forcing knob that
+degrades quietly would invalidate whatever measurement or verification the
+caller forced it for.  ``REPRO_SIM_BACKEND=interpreter`` also disables the
+trace path under ``"auto"``, since tracing executes compiled kernels.
 """
 
 from __future__ import annotations
@@ -266,11 +272,15 @@ def run_testbench(
     backend: str | None = None,
 ) -> SimulationReport:
     """Run ``testbench`` on both devices and compare outputs point by point."""
-    resolved = backend if backend is not None else os.environ.get(_TB_BACKEND_ENV) or "auto"
+    env_backend = os.environ.get(_TB_BACKEND_ENV)
+    resolved = backend if backend is not None else env_backend or "auto"
     if resolved not in _TB_BACKENDS:
         raise SimulationError(
             f"unknown testbench backend {resolved!r}; expected one of {_TB_BACKENDS}"
         )
+    # Env-forced trace is strict: a silent step-wise fallback would quietly
+    # invalidate the forcing, so ineligible pairings fail loudly instead.
+    strict_trace = backend is None and env_backend == "trace"
     if resolved == "auto" and os.environ.get("REPRO_SIM_BACKEND") == "interpreter":
         resolved = "stepwise"  # honour the forced-interpreter knob
     if (
@@ -281,6 +291,21 @@ def run_testbench(
         report = _run_testbench_trace(dut, reference, testbench)
         if report is not None:
             return report
+        if strict_trace:
+            raise SimulationError(
+                f"{_TB_BACKEND_ENV}=trace was forced, but the pairing of modules "
+                f"{dut.name!r} and {reference.name!r} is not trace-eligible "
+                "(interpreter-only module, port mismatch, or oversized schedule); "
+                "unset the variable or use backend='auto' to allow the step-wise "
+                "fallback"
+            )
+    elif strict_trace:
+        devices = ", ".join(type(device).__name__ for device in (dut, reference))
+        raise SimulationError(
+            f"{_TB_BACKEND_ENV}=trace was forced, but the trace backend requires "
+            f"parsed Verilog modules on both sides (got {devices}); behavioural "
+            "references always run step-wise"
+        )
 
     if isinstance(dut, VModule):
         dut = VerilogDevice(dut)

@@ -1,0 +1,109 @@
+"""Property-style tests for the content-fingerprint helpers in repro.caching.
+
+``stable_fingerprint`` keys the sweep result store and the fuzz corpus;
+``structural_fingerprint`` keys the stage-level compile caches.  These tests
+pin the properties the cache layers rely on: invariance under dict ordering
+and source-location shifts, sensitivity to genuine structural edits, and the
+absence of collisions across a generated fuzz corpus.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.caching import stable_fingerprint, structural_fingerprint
+from repro.chisel.parser import parse_source
+from repro.fuzz import FuzzConfig, generate_program
+
+
+class TestStableFingerprint:
+    def test_invariant_under_dict_insertion_order(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            items = [(f"k{i}", rng.randrange(1000)) for i in range(rng.randint(1, 8))]
+            document = {"nested": dict(items), "list": [dict(items)], "flag": True}
+            shuffled_items = list(items)
+            rng.shuffle(shuffled_items)
+            shuffled = {"flag": True, "list": [dict(shuffled_items)], "nested": dict(shuffled_items)}
+            assert stable_fingerprint(document) == stable_fingerprint(shuffled)
+
+    def test_sensitive_to_value_and_key_changes(self):
+        base = {"a": 1, "b": [1, 2, 3]}
+        assert stable_fingerprint(base) != stable_fingerprint({"a": 2, "b": [1, 2, 3]})
+        assert stable_fingerprint(base) != stable_fingerprint({"a": 1, "b": [1, 2]})
+        assert stable_fingerprint(base) != stable_fingerprint({"c": 1, "b": [1, 2, 3]})
+
+    def test_type_distinctions_survive_serialization(self):
+        # str(1) == "1" would collide under a naive default=str scheme for
+        # top-level values; JSON keeps the int/str distinction.
+        assert stable_fingerprint({"x": 1}) != stable_fingerprint({"x": "1"})
+
+
+@dataclass(frozen=True)
+class _Leaf:
+    name: str
+    value: int
+    location: str = "here"
+
+
+@dataclass(frozen=True)
+class _Tree:
+    children: tuple
+    table: dict = field(default_factory=dict)
+    location: str = "root"
+
+
+class TestStructuralFingerprint:
+    def test_skip_fields_are_ignored_everywhere(self):
+        a = _Tree((_Leaf("x", 1, "file:1"), _Leaf("y", 2, "file:2")), location="file:0")
+        b = _Tree((_Leaf("x", 1, "other:9"), _Leaf("y", 2, "other:10")), location="other:0")
+        assert structural_fingerprint(a) == structural_fingerprint(b)
+
+    def test_sensitive_to_structural_edits(self):
+        base = _Tree((_Leaf("x", 1), _Leaf("y", 2)))
+        assert structural_fingerprint(base) != structural_fingerprint(
+            _Tree((_Leaf("x", 1), _Leaf("y", 3)))
+        )
+        assert structural_fingerprint(base) != structural_fingerprint(
+            _Tree((_Leaf("y", 2), _Leaf("x", 1)))  # order matters
+        )
+        assert structural_fingerprint(base) != structural_fingerprint(
+            _Tree((_Leaf("x", 1),))
+        )
+
+    def test_parse_trees_hash_identically_across_cosmetic_edits(self):
+        """Shifted lines, comments and whitespace must not change the key."""
+        source = (
+            "import chisel3._\n"
+            "class TopModule extends Module {\n"
+            "  val io = IO(new Bundle { val a = Input(UInt(4.W)); val y = Output(UInt(4.W)) })\n"
+            "  io.y := io.a + 1.U\n"
+            "}\n"
+        )
+        cosmetic = "// revised attempt\n\n\n" + source.replace(" + ", "  +  ")
+        structural = source.replace("1.U", "2.U")
+        fp = structural_fingerprint(parse_source(source))
+        assert fp == structural_fingerprint(parse_source(cosmetic))
+        assert fp != structural_fingerprint(parse_source(structural))
+
+
+class TestCorpusCollisionSmoke:
+    def test_no_fingerprint_collisions_over_fuzz_corpus(self):
+        """Distinct generated programs must get distinct cache keys.
+
+        This is the property the stage caches (and therefore the warm/cold
+        conformance pass of the fuzzer) depend on: a collision here is a
+        cache-poisoning bug of the kind the differential engine exists to
+        catch.
+        """
+        config = FuzzConfig(seed=11, features=frozenset(
+            ("arith", "bitops", "mux", "reg", "when", "switch", "vec", "sint")
+        ))
+        sources = {generate_program(config, index).source for index in range(80)}
+        structural = {
+            structural_fingerprint(parse_source(source)) for source in sources
+        }
+        stable = {stable_fingerprint({"source": source}) for source in sources}
+        assert len(structural) == len(sources)
+        assert len(stable) == len(sources)

@@ -191,6 +191,7 @@ class TestCombCycleDetection:
 
 
 class TestKernelCache:
+    @pytest.mark.cache_mutating
     def test_identical_sources_share_one_kernel(self):
         clear_kernel_cache()
         source = "module m(input [3:0] a, output [3:0] y);\n  assign y = ~a;\nendmodule\n"
@@ -207,6 +208,7 @@ class TestKernelCache:
         assert module_fingerprint(a) == module_fingerprint(b)
         assert module_fingerprint(a) != module_fingerprint(c)
 
+    @pytest.mark.cache_mutating
     def test_unsupported_modules_are_negatively_cached(self):
         clear_kernel_cache()
         source = "module m(input a, output x);\n  assign x = x ^ a;\nendmodule\n"

@@ -203,6 +203,67 @@ class TestTraceSemantics:
         after = kernel_cache_stats()
         assert after["trace_misses"] == before["trace_misses"]
 
+    def test_behavioural_reference_falls_back_to_stepwise(self):
+        """A non-VModule device can never trace; auto must go step-wise."""
+        from repro.sim.reference import BehavioralDevice
+
+        module = parse_verilog(PASSTHROUGH)[0]
+        reference = BehavioralDevice(
+            {"q": 4}, lambda inputs, state: {"q": inputs.get("d", 0)}
+        )
+        testbench = Testbench(
+            points=[FunctionalPoint(inputs={"en": 0, "d": 9})],
+            observed_outputs=["q"],
+            reset_cycles=0,
+        )
+        before = kernel_cache_stats()
+        report = run_testbench(module, reference, testbench)
+        after = kernel_cache_stats()
+        assert report.passed
+        assert after["trace_hits"] == before["trace_hits"]
+        assert after["trace_misses"] == before["trace_misses"]
+
+    def test_env_forced_trace_raises_for_behavioural_reference(self, monkeypatch):
+        """REPRO_TB_BACKEND=trace must fail loudly, not silently degrade."""
+        from repro.sim.reference import BehavioralDevice
+
+        module = parse_verilog(PASSTHROUGH)[0]
+        reference = BehavioralDevice(
+            {"q": 4}, lambda inputs, state: {"q": inputs.get("d", 0)}
+        )
+        testbench = Testbench(
+            points=[FunctionalPoint(inputs={"en": 0, "d": 9})],
+            observed_outputs=["q"],
+            reset_cycles=0,
+        )
+        monkeypatch.setenv("REPRO_TB_BACKEND", "trace")
+        with pytest.raises(SimulationError, match="behavioural references"):
+            run_testbench(module, reference, testbench)
+
+    def test_env_forced_trace_raises_for_interpreter_only_module(self, monkeypatch):
+        """Combinational-cycle modules are interpreter-only: strict trace raises."""
+        loop = parse_verilog(
+            "module m(input a, output x, y);\n"
+            "  assign x = y | a;\n  assign y = x & a;\nendmodule\n"
+        )[0]
+        testbench = Testbench(points=[FunctionalPoint(inputs={"a": 0})], reset_cycles=0)
+        monkeypatch.setenv("REPRO_TB_BACKEND", "trace")
+        with pytest.raises(SimulationError, match="not trace-eligible"):
+            run_testbench(loop, loop, testbench)
+        # The explicit argument keeps the documented prefer-trace fallback.
+        assert run_testbench(loop, loop, testbench, backend="trace").passed
+
+    def test_env_forced_trace_runs_eligible_pairings(self, monkeypatch):
+        module = parse_verilog(PASSTHROUGH)[0]
+        testbench = Testbench(
+            points=[FunctionalPoint(inputs={"en": 0, "d": 3})],
+            observed_outputs=["q"],
+            reset_cycles=0,
+        )
+        monkeypatch.setenv("REPRO_TB_BACKEND", "trace")
+        report = run_testbench(module, module, testbench)
+        assert report == run_testbench(module, module, testbench, backend="stepwise")
+
     def test_consecutive_empty_points_do_not_break_codegen(self):
         """Runs of points that compile to no code must not emit empty loops."""
         module = parse_verilog(PASSTHROUGH)[0]
@@ -243,6 +304,7 @@ class TestTraceSemantics:
         with pytest.raises(SimulationError):
             run_testbench(module, module, testbench, backend="warp")
 
+    @pytest.mark.cache_mutating
     def test_trace_kernels_are_cached_per_module_and_shape(self):
         clear_kernel_cache()
         module = parse_verilog(PASSTHROUGH)[0]
@@ -325,6 +387,7 @@ class TestCacheRegistry:
             counters = stats[name]
             assert set(counters) == {"hits", "misses", "size", "instances"}
 
+    @pytest.mark.cache_mutating
     def test_clear_registered_caches_resets_counters(self):
         compiler = ChiselCompiler(top="TopModule")
         source = REGISTRY.by_id("alu_w8").golden_chisel
