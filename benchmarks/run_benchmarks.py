@@ -9,7 +9,9 @@ Covers the raw toolchain throughput (compile + simulate one case), the
 batched verification engine (cold candidate, warm iteration-k+1 and trace vs
 step-wise testbench backends, with asserted minimum speedups), the
 sweep-engine throughput (quick-scale Table I sweep: serial vs parallel
-executors, cold vs warm result store), the generation-service throughput
+executors, cold vs warm result store), the supervised generation fleet
+(warm-fleet throughput vs the serial baseline, O(1) result-store lookups),
+the generation-service throughput
 (serial latency baseline vs concurrency-32 service vs warm result cache) and
 the differential-fuzzing engine (generated programs conformance-checked per
 second).
@@ -40,6 +42,7 @@ def main(argv: list[str]) -> int:
             os.path.join(root, "benchmarks", "test_toolchain_throughput.py"),
             os.path.join(root, "benchmarks", "test_verify_throughput.py"),
             os.path.join(root, "benchmarks", "test_sweep_throughput.py"),
+            os.path.join(root, "benchmarks", "test_fleet_throughput.py"),
             os.path.join(root, "benchmarks", "test_service_throughput.py"),
             os.path.join(root, "benchmarks", "test_fuzz_throughput.py"),
             "--benchmark-only",

@@ -10,6 +10,7 @@ from repro.llm.profiles import AUTOCHIP_MODELS, PAPER_MODELS
 FULL_EVAL_ENV = "REPRO_FULL_EVAL"
 JOBS_ENV = "REPRO_JOBS"
 RESULT_STORE_ENV = "REPRO_RESULT_STORE"
+FLEET_ENV = "REPRO_FLEET"
 
 _DISABLED_STORE_VALUES = ("", "0", "off", "no", "none", "false")
 
@@ -27,9 +28,12 @@ class ExperimentConfig:
 
     ``jobs`` selects the sweep executor: 1 runs every work unit in-process,
     >1 fans units out over a process pool (``REPRO_JOBS``); results are
-    bit-identical either way.  ``store_path`` points the engine at a
-    persistent JSON-lines result store (``REPRO_RESULT_STORE``) so repeated
-    and overlapping sweeps reuse completed work units and interrupted runs
+    bit-identical either way.  ``fleet`` (``REPRO_FLEET=1``) upgrades the
+    parallel path to the supervised :mod:`repro.fleet` — warm restartable
+    workers with crash detection, lease re-queueing and graceful degradation
+    — still bit-identical.  ``store_path`` points the engine at a persistent
+    segmented result store (``REPRO_RESULT_STORE``) so repeated and
+    overlapping sweeps reuse completed work units and interrupted runs
     resume; ``None`` disables persistence (in-process memoization across
     sweeps still applies).  See EXPERIMENTS.md for the store format.
     """
@@ -42,6 +46,7 @@ class ExperimentConfig:
     seed: int = 0
     jobs: int = 1
     store_path: str | None = None
+    fleet: bool = False
 
     @classmethod
     def paper_scale(cls) -> "ExperimentConfig":
@@ -70,4 +75,6 @@ class ExperimentConfig:
         store_raw = os.environ.get(RESULT_STORE_ENV, "").strip()
         if store_raw.lower() not in _DISABLED_STORE_VALUES:
             config = replace(config, store_path=store_raw)
+        if os.environ.get(FLEET_ENV, "").strip().lower() in ("1", "true", "yes", "on"):
+            config = replace(config, fleet=True)
         return config

@@ -12,6 +12,11 @@ one :class:`~repro.experiments.work.WorkerContext` (problem registry, compiler
 memo, golden-Verilog cache, compiled-sim kernel cache) on first use and reuse
 it for every unit they run.  The ``fork`` start method is preferred where
 available so workers don't pay module re-import costs.
+
+A third executor with the same protocol lives in :mod:`repro.fleet`:
+:class:`~repro.fleet.supervisor.FleetExecutor` trades the pool for supervised
+worker processes that survive crashes, hangs and poisoned jobs (enable with
+``config.fleet`` / ``REPRO_FLEET=1``).
 """
 
 from __future__ import annotations

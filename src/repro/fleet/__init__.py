@@ -1,0 +1,49 @@
+"""Supervised multi-process generation fleet.
+
+The :mod:`repro.service` layer runs one asyncio loop in one process; the
+fleet scales execution out to supervised worker processes that each own warm
+compiler/kernel/trace caches.  The pieces:
+
+* :class:`~repro.fleet.config.FleetConfig` — worker count, heartbeat cadence,
+  lease timeout, restart backoff; every knob also reads ``REPRO_FLEET_*``;
+* :class:`~repro.fleet.ring.HashRing` — consistent-hash routing of jobs by
+  work-unit fingerprint, so identical specs land on the same warm worker;
+* :mod:`~repro.fleet.worker` — the child-process main loop: build one
+  :class:`~repro.experiments.work.WorkerContext`, drain jobs over a pipe,
+  heartbeat from a side thread;
+* :class:`~repro.fleet.supervisor.FleetSupervisor` — spawns workers, monitors
+  heartbeats and leases, SIGKILLs hung workers, restarts crashed ones with
+  exponential backoff, evicts repeat offenders, quarantines poisoned jobs,
+  and degrades to in-process execution when the fleet is gone;
+* :class:`~repro.fleet.supervisor.FleetExecutor` — the sweep-engine executor
+  facade (same ``run_stream`` protocol as the serial/parallel executors).
+
+Because work units are deterministic and self-seeding, fleet results are
+bit-identical to :class:`~repro.experiments.executors.SerialExecutor` no
+matter how many workers die mid-sweep — ``tests/test_fleet_chaos.py`` SIGKILLs
+workers, injects hangs and poisoned jobs, and asserts exactly that.
+"""
+
+from repro.fleet.config import FleetConfig
+from repro.fleet.messages import (
+    FAULT_CRASH,
+    FAULT_ERROR,
+    FAULT_FREEZE,
+    FAULT_HANG,
+    FAULT_SLOW,
+)
+from repro.fleet.ring import HashRing
+from repro.fleet.supervisor import FleetExecutor, FleetJobError, FleetSupervisor
+
+__all__ = [
+    "FleetConfig",
+    "FleetExecutor",
+    "FleetJobError",
+    "FleetSupervisor",
+    "HashRing",
+    "FAULT_CRASH",
+    "FAULT_ERROR",
+    "FAULT_FREEZE",
+    "FAULT_HANG",
+    "FAULT_SLOW",
+]

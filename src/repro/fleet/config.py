@@ -1,0 +1,134 @@
+"""Configuration for the supervised generation fleet.
+
+Every knob is also settable from the environment (``REPRO_FLEET_*``) so
+deployments tune the fleet without code changes; see EXPERIMENTS.md for the
+catalogue.  Timeouts are in seconds.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+WORKERS_ENV = "REPRO_FLEET_WORKERS"
+HEARTBEAT_ENV = "REPRO_FLEET_HEARTBEAT"
+HEARTBEAT_MISSES_ENV = "REPRO_FLEET_HEARTBEAT_MISSES"
+LEASE_TIMEOUT_ENV = "REPRO_FLEET_LEASE_TIMEOUT"
+BACKOFF_ENV = "REPRO_FLEET_BACKOFF"
+BACKOFF_MAX_ENV = "REPRO_FLEET_BACKOFF_MAX"
+MAX_RESTARTS_ENV = "REPRO_FLEET_MAX_RESTARTS"
+POISON_THRESHOLD_ENV = "REPRO_FLEET_POISON_THRESHOLD"
+START_METHOD_ENV = "REPRO_FLEET_START_METHOD"
+
+
+def _env_float(name: str) -> float | None:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from None
+
+
+def _env_int(name: str) -> int | None:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Knobs of the :class:`~repro.fleet.supervisor.FleetSupervisor`.
+
+    ``workers`` sizes the fleet.  A worker whose heartbeat is older than
+    ``heartbeat_interval * heartbeat_misses`` is declared nonresponsive and
+    SIGKILLed; a job leased longer than ``lease_timeout`` kills its worker the
+    same way (both re-queue the worker's in-flight leases).  Crashed workers
+    restart after ``restart_backoff * 2**(restarts - 1)`` seconds (capped at
+    ``restart_backoff_max``) and are permanently evicted after
+    ``max_restarts`` restarts; when every slot is evicted the supervisor
+    degrades to executing jobs in-process.  A job whose execution has killed
+    ``poison_threshold`` workers is quarantined: it runs in-process instead of
+    taking down a third worker.
+
+    ``start_method`` picks the multiprocessing start method; ``fork`` (the
+    default where available) gives workers the parent's warm imports.
+    """
+
+    workers: int = 4
+    heartbeat_interval: float = 0.5
+    heartbeat_misses: int = 6
+    lease_timeout: float = 120.0
+    restart_backoff: float = 0.1
+    restart_backoff_max: float = 5.0
+    max_restarts: int = 5
+    poison_threshold: int = 2
+    start_method: str | None = None
+    ring_replicas: int = 64
+    #: Max jobs leased to one worker at a time; overflow walks the ring to the
+    #: next worker (bounds pipe backlog and smooths a skewed hash).
+    max_backlog: int = 8
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be > 0")
+        if self.heartbeat_misses < 1:
+            raise ValueError("heartbeat_misses must be >= 1")
+        if self.lease_timeout <= 0:
+            raise ValueError("lease_timeout must be > 0")
+        if self.poison_threshold < 1:
+            raise ValueError("poison_threshold must be >= 1")
+
+    @property
+    def heartbeat_timeout(self) -> float:
+        return self.heartbeat_interval * self.heartbeat_misses
+
+    @property
+    def tick(self) -> float:
+        """The supervisor pump's poll timeout: responsive but not spinning."""
+        return max(0.005, min(0.05, self.heartbeat_interval / 4.0))
+
+    def backoff_delay(self, restarts: int) -> float:
+        """Seconds to cool down before restart number ``restarts`` (1-based)."""
+        return min(self.restart_backoff_max, self.restart_backoff * (2 ** max(0, restarts - 1)))
+
+    @classmethod
+    def from_environment(cls, base: "FleetConfig | None" = None) -> "FleetConfig":
+        """``base`` (default ``FleetConfig()``) overridden by ``REPRO_FLEET_*``."""
+        config = base or cls()
+        updates: dict[str, object] = {}
+        workers = _env_int(WORKERS_ENV)
+        if workers is not None:
+            updates["workers"] = max(1, workers)
+        heartbeat = _env_float(HEARTBEAT_ENV)
+        if heartbeat is not None and heartbeat > 0:
+            updates["heartbeat_interval"] = heartbeat
+        misses = _env_int(HEARTBEAT_MISSES_ENV)
+        if misses is not None:
+            updates["heartbeat_misses"] = max(1, misses)
+        lease = _env_float(LEASE_TIMEOUT_ENV)
+        if lease is not None and lease > 0:
+            updates["lease_timeout"] = lease
+        backoff = _env_float(BACKOFF_ENV)
+        if backoff is not None:
+            updates["restart_backoff"] = max(0.0, backoff)
+        backoff_max = _env_float(BACKOFF_MAX_ENV)
+        if backoff_max is not None:
+            updates["restart_backoff_max"] = max(0.0, backoff_max)
+        max_restarts = _env_int(MAX_RESTARTS_ENV)
+        if max_restarts is not None:
+            updates["max_restarts"] = max(0, max_restarts)
+        poison = _env_int(POISON_THRESHOLD_ENV)
+        if poison is not None:
+            updates["poison_threshold"] = max(1, poison)
+        start_method = os.environ.get(START_METHOD_ENV, "").strip()
+        if start_method:
+            updates["start_method"] = start_method
+        return replace(config, **updates) if updates else config

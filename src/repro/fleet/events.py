@@ -1,0 +1,61 @@
+"""Structured supervisor event log.
+
+Every supervision decision — spawn, ready, dispatch, crash, heartbeat miss,
+lease expiry, re-queue, restart, eviction, quarantine, degradation — is
+recorded as one dict with a wall-clock timestamp.  The chaos tests assert
+against these events, the service surfaces recent ones in its telemetry, and
+the CI chaos-smoke job uploads them as an artifact when a test fails, so a
+flaky supervision bug leaves a full trace behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+
+class EventLog:
+    """A bounded, thread-safe, append-only list of supervision events."""
+
+    def __init__(self, limit: int = 4096):
+        self.limit = limit
+        self._events: list[dict] = []
+        self._dropped = 0
+        self._lock = threading.Lock()
+
+    def record(self, event: str, **fields) -> dict:
+        entry = {"t": round(time.time(), 4), "event": event, **fields}
+        with self._lock:
+            self._events.append(entry)
+            if len(self._events) > self.limit:
+                overflow = len(self._events) - self.limit
+                del self._events[:overflow]
+                self._dropped += overflow
+        return entry
+
+    def events(self, kind: str | None = None) -> list[dict]:
+        with self._lock:
+            snapshot = list(self._events)
+        if kind is None:
+            return snapshot
+        return [entry for entry in snapshot if entry["event"] == kind]
+
+    def count(self, kind: str) -> int:
+        return len(self.events(kind))
+
+    def dump(self, path: str | os.PathLike) -> Path:
+        """Write the log as JSON lines; returns the written path."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            lines = [json.dumps(entry, sort_keys=True) for entry in self._events]
+            dropped = self._dropped
+        with target.open("w", encoding="utf-8") as handle:
+            if dropped:
+                handle.write(json.dumps({"event": "log-truncated", "dropped": dropped}) + "\n")
+            for line in lines:
+                handle.write(line + "\n")
+        return target

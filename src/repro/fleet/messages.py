@@ -1,0 +1,93 @@
+"""The supervisor <-> worker wire protocol (pickled over duplex pipes).
+
+Every message is a small frozen dataclass built from picklable primitives.
+Jobs carry an optional *fault directive* — the hook the chaos harness uses to
+make a worker misbehave deterministically.  Directives are interpreted by the
+worker before (or instead of) executing the unit:
+
+* ``FAULT_CRASH`` — ``os._exit`` immediately: a hard crash mid-job;
+* ``FAULT_HANG`` — sleep forever while heartbeats keep flowing: a hung job,
+  detected by the supervisor's lease timeout;
+* ``FAULT_FREEZE`` — stop heartbeating *and* sleep: a wedged process,
+  detected by the heartbeat monitor;
+* ``FAULT_SLOW`` — sleep briefly, then execute normally: lets chaos tests
+  SIGKILL a worker while its job is reliably in flight;
+* ``FAULT_ERROR`` — raise instead of executing: a clean job failure (no
+  worker death).
+
+Production dispatch never sets a directive; only a
+:class:`~repro.fleet.supervisor.FleetSupervisor` constructed with a
+``fault_injector`` does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.work import WorkUnit
+
+FAULT_CRASH = "crash"
+FAULT_HANG = "hang"
+FAULT_FREEZE = "freeze"
+FAULT_SLOW = "slow"
+FAULT_ERROR = "error"
+
+#: Exit code of a FAULT_CRASH so tests can tell injected crashes from real ones.
+CRASH_EXIT_CODE = 87
+
+#: How long hang/freeze faults sleep; the supervisor kills the worker long
+#: before this elapses (lease or heartbeat timeout).
+FAULT_SLEEP_SECONDS = 3600.0
+
+#: FAULT_SLOW's pre-execution delay.
+SLOW_SECONDS = 0.25
+
+
+@dataclass(frozen=True)
+class Job:
+    """One leased unit of work dispatched to a worker."""
+
+    job_id: str
+    unit: WorkUnit
+    fault: str | None = None
+
+
+@dataclass(frozen=True)
+class JobStarted:
+    """Sent just before execution; scopes crash blame to the job actually
+    running (jobs still queued in the pipe re-queue blame-free)."""
+
+    job_id: str
+
+
+@dataclass(frozen=True)
+class JobResult:
+    job_id: str
+    payload: dict
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """The unit itself raised; the worker survives (not a crash)."""
+
+    job_id: str
+    error: str
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    slot: int
+    seq: int
+
+
+@dataclass(frozen=True)
+class Ready:
+    """Sent once the worker's context is built and it can accept jobs."""
+
+    slot: int
+    pid: int
+
+
+@dataclass(frozen=True)
+class Stop:
+    """Graceful shutdown request from the supervisor."""

@@ -1,0 +1,75 @@
+"""Consistent-hash routing for the generation fleet.
+
+Jobs are routed by work-unit fingerprint so identical specs always land on
+the same warm worker (whose compiler/kernel/trace caches already hold the
+spec's artifacts).  Consistent hashing keeps that property under churn: when
+a worker is evicted only the keys that hashed to it move, instead of the
+whole keyspace reshuffling — a restarted fleet keeps most of its cache
+locality.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterator
+
+
+def _point(value: str) -> int:
+    return int.from_bytes(hashlib.sha256(value.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over hashable node ids (worker slots).
+
+    Each node is placed at ``replicas`` pseudo-random points; ``node_for``
+    returns the first node clockwise of the key's point, and ``walk`` yields
+    every distinct node in clockwise order — the supervisor's fallback order
+    when the preferred worker is cooling down or being restarted.
+    """
+
+    def __init__(self, replicas: int = 64):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._points: list[int] = []
+        self._nodes: list[object] = []  # parallel to _points
+
+    def __len__(self) -> int:
+        return len(set(self._nodes))
+
+    @property
+    def nodes(self) -> set:
+        return set(self._nodes)
+
+    def add(self, node) -> None:
+        if node in self._nodes:
+            return
+        for replica in range(self.replicas):
+            point = _point(f"{node!r}#{replica}")
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._nodes.insert(index, node)
+
+    def remove(self, node) -> None:
+        keep = [(p, n) for p, n in zip(self._points, self._nodes) if n != node]
+        self._points = [p for p, _ in keep]
+        self._nodes = [n for _, n in keep]
+
+    def node_for(self, key: str):
+        """The key's preferred node, or ``None`` on an empty ring."""
+        for node in self.walk(key):
+            return node
+        return None
+
+    def walk(self, key: str) -> Iterator:
+        """Every distinct node in clockwise order from the key's point."""
+        if not self._points:
+            return
+        start = bisect.bisect(self._points, _point(key)) % len(self._points)
+        seen = set()
+        for offset in range(len(self._points)):
+            node = self._nodes[(start + offset) % len(self._points)]
+            if node not in seen:
+                seen.add(node)
+                yield node

@@ -1,0 +1,617 @@
+"""The fleet supervisor: spawn, watch, restart, re-queue, degrade.
+
+:class:`FleetSupervisor` owns N worker processes (one per *slot*), a
+consistent-hash ring routing work-unit fingerprints to slots, and a single
+pump thread that multiplexes every worker pipe:
+
+* **dispatch** — submitted jobs route to the first live worker clockwise of
+  their fingerprint on the ring, so identical specs always land on the same
+  warm caches; each dispatch takes a *lease* with a deadline;
+* **liveness** — workers heartbeat from a side thread; a dead process, a
+  stale heartbeat, or an expired lease all declare the worker lost (hung
+  workers are SIGKILLed first);
+* **recovery** — a lost worker's in-flight leases re-queue onto surviving
+  workers; the worker itself restarts after exponential backoff, and is
+  permanently evicted once it exceeds ``max_restarts``;
+* **poison control** — a job whose execution has killed ``poison_threshold``
+  workers is quarantined and executed in-process, so one poisoned spec cannot
+  chew through the whole fleet;
+* **degradation** — with every slot evicted the supervisor executes jobs
+  in-process itself: slower, but the sweep still completes.
+
+Work units are deterministic and self-seeding, so none of this changes
+results — only placement and wall-clock.  ``tests/test_fleet_chaos.py``
+SIGKILLs workers mid-job and asserts bit-identity with
+:class:`~repro.experiments.executors.SerialExecutor`.
+
+:class:`FleetExecutor` adapts the supervisor to the sweep-engine executor
+protocol (``run_stream(units)`` yielding ``(index, payload)``), so
+``REPRO_FLEET=1`` drops it in where the process-pool executor runs today.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import multiprocessing.connection
+import os
+import queue
+import signal
+import threading
+import time
+from collections import deque
+from concurrent.futures import CancelledError, Future, as_completed
+from typing import Callable, Iterable, Iterator
+
+from repro.experiments.strategies import execute_unit
+from repro.experiments.work import WorkerContext, WorkUnit
+from repro.fleet.config import FleetConfig
+from repro.fleet.events import EventLog
+from repro.fleet.messages import (
+    Heartbeat,
+    Job,
+    JobFailure,
+    JobResult,
+    JobStarted,
+    Ready,
+    Stop,
+)
+from repro.fleet.ring import HashRing
+from repro.fleet.worker import fleet_worker_main
+
+#: Worker states.
+STARTING = "starting"
+READY = "ready"
+COOLING = "cooling"
+EVICTED = "evicted"
+
+_LIVE_STATES = (STARTING, READY)
+
+
+class FleetJobError(RuntimeError):
+    """A job raised inside a worker (a clean failure, not a worker death)."""
+
+
+class FleetShutdownError(RuntimeError):
+    """The supervisor closed while the job was still pending."""
+
+
+class _WorkerHandle:
+    """Supervisor-side state of one fleet slot."""
+
+    __slots__ = (
+        "slot",
+        "process",
+        "conn",
+        "state",
+        "restarts",
+        "last_seen",
+        "restart_at",
+        "leases",
+        "pid",
+        "executing",
+    )
+
+    def __init__(self, slot: int):
+        self.slot = slot
+        self.process = None
+        self.conn = None
+        self.state = COOLING
+        self.restarts = 0
+        self.last_seen = 0.0
+        self.restart_at = 0.0
+        self.leases: dict[str, float] = {}  # job_id -> lease deadline
+        self.pid: int | None = None
+        self.executing: str | None = None  # job_id reported by JobStarted
+
+
+class _JobState:
+    __slots__ = ("job_id", "unit", "key", "future", "attempts", "worker_deaths")
+
+    def __init__(self, job_id: str, unit: WorkUnit, key: str, future: Future):
+        self.job_id = job_id
+        self.unit = unit
+        self.key = key
+        self.future = future
+        self.attempts = 0
+        self.worker_deaths = 0
+
+
+class FleetSupervisor:
+    """Supervise a fleet of generation workers; see the module docstring.
+
+    ``fault_injector`` is the chaos hook: ``fault_injector(unit, attempt)``
+    (attempt is 0-based) returns a directive from
+    :mod:`repro.fleet.messages` or ``None``.  Production supervisors leave it
+    unset; quarantined/degraded in-process execution never consults it.
+    """
+
+    def __init__(
+        self,
+        config: FleetConfig | None = None,
+        *,
+        fault_injector: Callable[[WorkUnit, int], str | None] | None = None,
+    ):
+        self.config = config or FleetConfig()
+        self.events = EventLog()
+        self._fault_injector = fault_injector
+        self._workers: dict[int, _WorkerHandle] = {}
+        self._jobs: dict[str, _JobState] = {}
+        self._waiting: deque[str] = deque()
+        self._submissions: "queue.SimpleQueue[str]" = queue.SimpleQueue()
+        self._job_ids = itertools.count()
+        self._ring = HashRing(self.config.ring_replicas)
+        self._counters = {
+            "dispatched": 0,
+            "completed": 0,
+            "failed": 0,
+            "crashes": 0,
+            "restarts": 0,
+            "requeues": 0,
+            "evictions": 0,
+            "heartbeat_misses": 0,
+            "lease_expirations": 0,
+            "quarantined": 0,
+            "inline_executions": 0,
+        }
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._pump: threading.Thread | None = None
+        self._context: WorkerContext | None = None
+        self._degraded = False
+        self._closed = False
+        if self.config.start_method:
+            self._mp = multiprocessing.get_context(self.config.start_method)
+        elif "fork" in multiprocessing.get_all_start_methods():
+            self._mp = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-fork platforms
+            self._mp = multiprocessing.get_context()
+
+    # -------------------------------------------------------------- lifecycle
+
+    @property
+    def started(self) -> bool:
+        return self._pump is not None
+
+    def start(self) -> "FleetSupervisor":
+        if self._closed:
+            raise RuntimeError("fleet supervisor already closed")
+        if self.started:
+            return self
+        for slot in range(self.config.workers):
+            handle = _WorkerHandle(slot)
+            self._workers[slot] = handle
+            self._ring.add(slot)
+            self._spawn(handle)
+        self._pump = threading.Thread(target=self._pump_loop, name="fleet-pump", daemon=True)
+        self._pump.start()
+        return self
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        if self._pump is not None:
+            self._pump.join(timeout=10.0)
+            self._pump = None
+        for handle in self._workers.values():
+            self._stop_worker(handle)
+        with self._lock:
+            pending = list(self._jobs.values())
+            self._jobs.clear()
+            self._waiting.clear()
+        for job in pending:
+            if not job.future.done():
+                job.future.set_exception(
+                    FleetShutdownError("fleet supervisor closed before the job finished")
+                )
+        self.events.record("closed")
+
+    def __enter__(self) -> "FleetSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- submission
+
+    def submit(self, unit: WorkUnit) -> Future:
+        """Lease one unit to the fleet; returns a future for its payload."""
+        if self._closed:
+            raise RuntimeError("fleet supervisor already closed")
+        if not self.started:
+            self.start()
+        job_id = str(next(self._job_ids))
+        future: Future = Future()
+        key = self._local_context().fingerprint(unit)
+        with self._lock:
+            self._jobs[job_id] = _JobState(job_id, unit, key, future)
+        self._submissions.put(job_id)
+        return future
+
+    def run(self, units: Iterable[WorkUnit]) -> list[dict]:
+        """Blocking convenience: payloads in submission order."""
+        futures = [self.submit(unit) for unit in units]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------ observation
+
+    def worker_pids(self) -> dict[int, int]:
+        """Live worker pids by slot (the chaos harness kills these)."""
+        return {
+            handle.slot: handle.pid
+            for handle in self._workers.values()
+            if handle.state in _LIVE_STATES and handle.pid is not None
+        }
+
+    def health(self) -> dict:
+        """A JSON-friendly snapshot of fleet health for telemetry."""
+        now = time.monotonic()
+        workers = []
+        for handle in sorted(self._workers.values(), key=lambda h: h.slot):
+            workers.append(
+                {
+                    "slot": handle.slot,
+                    "state": handle.state,
+                    "pid": handle.pid,
+                    "restarts": handle.restarts,
+                    "leases": len(handle.leases),
+                    "heartbeat_age": (
+                        round(now - handle.last_seen, 4)
+                        if handle.state in _LIVE_STATES and handle.last_seen
+                        else None
+                    ),
+                }
+            )
+        with self._lock:
+            counters = dict(self._counters)
+            pending = len(self._jobs)
+        return {
+            "workers": workers,
+            "alive": sum(1 for w in workers if w["state"] in _LIVE_STATES),
+            "degraded": self._degraded,
+            "pending_jobs": pending,
+            "counters": counters,
+        }
+
+    # ------------------------------------------------------------ pump thread
+
+    def _pump_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self._drain_submissions()
+                self._dispatch_waiting()
+                self._poll_connections()
+                self._check_liveness()
+                self._restart_cooled()
+            except Exception as exc:  # pragma: no cover - supervisor must survive
+                self.events.record("pump-error", error=f"{type(exc).__name__}: {exc}")
+                time.sleep(self.config.tick)
+
+    def _drain_submissions(self) -> None:
+        while True:
+            try:
+                self._waiting.append(self._submissions.get_nowait())
+            except queue.Empty:
+                return
+
+    def _dispatch_waiting(self) -> None:
+        deferred: deque[str] = deque()
+        while self._waiting:
+            job_id = self._waiting.popleft()
+            job = self._jobs.get(job_id)
+            if job is None or job.future.done():
+                self._forget(job_id)
+                continue
+            handle = self._route(job.key)
+            if handle is not None:
+                self._send_job(handle, job)
+            elif self._fleet_is_gone():
+                self._execute_inline(job, reason="degraded")
+            else:
+                # Workers exist but none can take the job right now (cooling,
+                # restarting, or saturated backlogs); retry next tick.
+                deferred.append(job_id)
+        self._waiting = deferred
+
+    def _route(self, key: str) -> _WorkerHandle | None:
+        """First live worker clockwise of ``key`` with lease headroom.
+
+        Saturated workers are walked past (bounding any one pipe's backlog);
+        with every live worker saturated the job waits a tick instead.
+        """
+        for slot in self._ring.walk(key):
+            handle = self._workers[slot]
+            if handle.state not in _LIVE_STATES:
+                continue
+            if len(handle.leases) < self.config.max_backlog:
+                return handle
+        return None
+
+    def _send_job(self, handle: _WorkerHandle, job: _JobState) -> None:
+        fault = None
+        if self._fault_injector is not None:
+            fault = self._fault_injector(job.unit, job.attempts)
+        job.attempts += 1
+        try:
+            handle.conn.send(Job(job_id=job.job_id, unit=job.unit, fault=fault))
+        except (BrokenPipeError, OSError):
+            self._waiting.appendleft(job.job_id)
+            self._on_worker_lost(handle, reason="send-failed")
+            return
+        handle.leases[job.job_id] = time.monotonic() + self.config.lease_timeout
+        self._bump("dispatched")
+        self.events.record(
+            "dispatch", job=job.job_id, slot=handle.slot, attempt=job.attempts, fault=fault
+        )
+
+    def _poll_connections(self) -> None:
+        by_conn = {
+            handle.conn: handle
+            for handle in self._workers.values()
+            if handle.state in _LIVE_STATES and handle.conn is not None
+        }
+        if not by_conn:
+            time.sleep(self.config.tick)
+            return
+        try:
+            ready = multiprocessing.connection.wait(list(by_conn), timeout=self.config.tick)
+        except OSError:
+            ready = []
+        for conn in ready:
+            handle = by_conn[conn]
+            while True:
+                try:
+                    if not conn.poll():
+                        break
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    self._on_worker_lost(handle, reason="pipe-closed")
+                    break
+                self._handle_message(handle, message)
+
+    def _handle_message(self, handle: _WorkerHandle, message) -> None:
+        handle.last_seen = time.monotonic()
+        if isinstance(message, Ready):
+            handle.state = READY
+            self.events.record("ready", slot=handle.slot, pid=message.pid)
+        elif isinstance(message, Heartbeat):
+            pass  # last_seen refresh above is the point
+        elif isinstance(message, JobStarted):
+            handle.executing = message.job_id
+        elif isinstance(message, JobResult):
+            if handle.executing == message.job_id:
+                handle.executing = None
+            handle.leases.pop(message.job_id, None)
+            job = self._forget(message.job_id)
+            if job is not None and not job.future.done():
+                job.future.set_result(message.payload)
+                self._bump("completed")
+                self.events.record("result", job=message.job_id, slot=handle.slot)
+        elif isinstance(message, JobFailure):
+            if handle.executing == message.job_id:
+                handle.executing = None
+            handle.leases.pop(message.job_id, None)
+            job = self._forget(message.job_id)
+            if job is not None and not job.future.done():
+                job.future.set_exception(FleetJobError(message.error))
+                self._bump("failed")
+                self.events.record(
+                    "job-failed", job=message.job_id, slot=handle.slot, error=message.error
+                )
+
+    def _check_liveness(self) -> None:
+        now = time.monotonic()
+        for handle in list(self._workers.values()):
+            if handle.state not in _LIVE_STATES:
+                continue
+            if handle.process is not None and not handle.process.is_alive():
+                self._on_worker_lost(handle, reason="process-exited")
+                continue
+            if handle.last_seen and now - handle.last_seen > self.config.heartbeat_timeout:
+                self._bump("heartbeat_misses")
+                self.events.record(
+                    "heartbeat-miss", slot=handle.slot, age=round(now - handle.last_seen, 4)
+                )
+                self._kill(handle)
+                self._on_worker_lost(handle, reason="heartbeat-timeout")
+                continue
+            expired = [job_id for job_id, deadline in handle.leases.items() if deadline < now]
+            if expired:
+                self._bump("lease_expirations")
+                self.events.record("lease-expired", slot=handle.slot, jobs=expired)
+                self._kill(handle)
+                self._on_worker_lost(handle, reason="lease-timeout")
+
+    # ---------------------------------------------------------- failure paths
+
+    def _on_worker_lost(self, handle: _WorkerHandle, reason: str) -> None:
+        if handle.state not in _LIVE_STATES:
+            return
+        self._bump("crashes")
+        exitcode = handle.process.exitcode if handle.process is not None else None
+        self.events.record(
+            "worker-lost", slot=handle.slot, reason=reason, exitcode=exitcode,
+            restarts=handle.restarts,
+        )
+        self._close_conn(handle)
+        if handle.process is not None:
+            handle.process.join(timeout=1.0)
+        leases = list(handle.leases)
+        handle.leases = {}
+        blamed = handle.executing
+        handle.executing = None
+        for job_id in leases:
+            job = self._jobs.get(job_id)
+            if job is None or job.future.done():
+                self._forget(job_id)
+                continue
+            # Only the job the worker was actually executing is blamed for
+            # the death; jobs still queued in its pipe re-queue blame-free.
+            if job_id == blamed:
+                job.worker_deaths += 1
+            if job.worker_deaths >= self.config.poison_threshold:
+                self._bump("quarantined")
+                self.events.record(
+                    "quarantine", job=job_id, worker_deaths=job.worker_deaths
+                )
+                self._execute_inline(job, reason="quarantine")
+            else:
+                self._bump("requeues")
+                self.events.record("lease-requeue", job=job_id, slot=handle.slot)
+                self._waiting.append(job_id)
+        handle.restarts += 1
+        if handle.restarts > self.config.max_restarts:
+            handle.state = EVICTED
+            self._ring.remove(handle.slot)
+            self._bump("evictions")
+            self.events.record("evict", slot=handle.slot, restarts=handle.restarts)
+            if self._fleet_is_gone() and not self._degraded:
+                self._degraded = True
+                self.events.record("fleet-degraded")
+        else:
+            handle.state = COOLING
+            delay = self.config.backoff_delay(handle.restarts)
+            handle.restart_at = time.monotonic() + delay
+            self.events.record("cooling", slot=handle.slot, delay=round(delay, 4))
+
+    def _restart_cooled(self) -> None:
+        now = time.monotonic()
+        for handle in self._workers.values():
+            if handle.state == COOLING and handle.restart_at <= now and not self._closed:
+                self._bump("restarts")
+                self.events.record("restart", slot=handle.slot, attempt=handle.restarts)
+                self._spawn(handle)
+
+    def _execute_inline(self, job: _JobState, reason: str) -> None:
+        """Run a job in the supervisor process (quarantine / degraded mode)."""
+        self._bump("inline_executions")
+        self.events.record("inline-execution", job=job.job_id, reason=reason)
+        try:
+            payload = execute_unit(self._local_context(), job.unit)
+        except Exception as exc:
+            self._forget(job.job_id)
+            if not job.future.done():
+                job.future.set_exception(FleetJobError(f"{type(exc).__name__}: {exc}"))
+                self._bump("failed")
+        else:
+            self._forget(job.job_id)
+            if not job.future.done():
+                job.future.set_result(payload)
+                self._bump("completed")
+
+    # ---------------------------------------------------------------- helpers
+
+    def _local_context(self) -> WorkerContext:
+        if self._context is None:
+            self._context = WorkerContext()
+        return self._context
+
+    def _fleet_is_gone(self) -> bool:
+        return all(handle.state == EVICTED for handle in self._workers.values())
+
+    def _spawn(self, handle: _WorkerHandle) -> None:
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        process = self._mp.Process(
+            target=fleet_worker_main,
+            args=(handle.slot, child_conn, self.config.heartbeat_interval),
+            name=f"fleet-worker-{handle.slot}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle.process = process
+        handle.conn = parent_conn
+        handle.pid = process.pid
+        handle.state = STARTING
+        handle.last_seen = time.monotonic()
+        self.events.record("spawn", slot=handle.slot, pid=process.pid)
+
+    def _kill(self, handle: _WorkerHandle) -> None:
+        if handle.process is None or not handle.process.is_alive():
+            return
+        try:
+            os.kill(handle.process.pid, signal.SIGKILL)
+        except (ProcessLookupError, OSError):  # pragma: no cover - already gone
+            pass
+        handle.process.join(timeout=2.0)
+
+    def _stop_worker(self, handle: _WorkerHandle) -> None:
+        if handle.conn is not None:
+            try:
+                handle.conn.send(Stop())
+            except (BrokenPipeError, OSError):
+                pass
+        if handle.process is not None and handle.process.is_alive():
+            handle.process.join(timeout=1.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+            if handle.process.is_alive():  # pragma: no cover - terminate sufficed so far
+                self._kill(handle)
+        self._close_conn(handle)
+        handle.state = EVICTED if handle.state == EVICTED else COOLING
+
+    def _close_conn(self, handle: _WorkerHandle) -> None:
+        if handle.conn is not None:
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            handle.conn = None
+
+    def _forget(self, job_id: str) -> _JobState | None:
+        with self._lock:
+            return self._jobs.pop(job_id, None)
+
+    def _bump(self, counter: str, by: int = 1) -> None:
+        with self._lock:
+            self._counters[counter] += by
+
+
+class FleetExecutor:
+    """Sweep-engine executor facade over a :class:`FleetSupervisor`.
+
+    Exposes the same streaming protocol as
+    :class:`~repro.experiments.executors.SerialExecutor` /
+    :class:`~repro.experiments.executors.ParallelExecutor` —
+    ``run_stream(units)`` yields ``(index, payload)`` as units finish — so
+    the engine persists results the moment they exist and chaos-killed
+    sweeps stay resumable through the store.
+
+    Requires units resolvable against the *default* problem registry (worker
+    processes rebuild it); the engine falls back to the serial executor for
+    custom registries, exactly as it does for the process pool.
+    """
+
+    def __init__(
+        self,
+        config: FleetConfig | None = None,
+        *,
+        supervisor: FleetSupervisor | None = None,
+        fault_injector: Callable[[WorkUnit, int], str | None] | None = None,
+    ):
+        self.supervisor = supervisor or FleetSupervisor(config, fault_injector=fault_injector)
+        self.jobs = self.supervisor.config.workers
+
+    def run_stream(self, units: Iterable[WorkUnit]) -> Iterator[tuple[int, dict]]:
+        units = list(units)
+        if not units:
+            return
+        self.supervisor.start()
+        futures = {self.supervisor.submit(unit): index for index, unit in enumerate(units)}
+        try:
+            for future in as_completed(futures):
+                try:
+                    yield futures[future], future.result()
+                except CancelledError:  # pragma: no cover - abandoned stream race
+                    continue
+        finally:
+            # If the consumer abandons the stream, don't leave queued units
+            # burning fleet capacity.
+            for future in futures:
+                future.cancel()
+
+    def shutdown(self) -> None:
+        self.supervisor.close()

@@ -1,0 +1,124 @@
+"""The fleet worker process: one warm context, jobs over a pipe, side-thread heartbeats.
+
+``fleet_worker_main`` is the child-process entry point.  It starts a daemon
+heartbeat thread first (so the supervisor can watch liveness even while the
+context warms up), builds one :class:`~repro.experiments.work.WorkerContext`
+— problem registry, compiler memo, golden-Verilog cache, kernel caches — and
+then drains :class:`~repro.fleet.messages.Job` messages until told to stop.
+
+Units are deterministic and self-seeding, so a unit executed here returns the
+same payload it would under :class:`~repro.experiments.executors.SerialExecutor`;
+which worker runs a job changes wall-clock only, never results.
+
+Fault directives (see :mod:`repro.fleet.messages`) are honoured before
+execution; production jobs never carry one.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from repro.experiments.strategies import execute_unit
+from repro.experiments.work import WorkerContext
+from repro.fleet.messages import (
+    CRASH_EXIT_CODE,
+    FAULT_CRASH,
+    FAULT_ERROR,
+    FAULT_FREEZE,
+    FAULT_HANG,
+    FAULT_SLEEP_SECONDS,
+    FAULT_SLOW,
+    Heartbeat,
+    Job,
+    JobFailure,
+    JobResult,
+    JobStarted,
+    Ready,
+    SLOW_SECONDS,
+    Stop,
+)
+
+
+class _Sender:
+    """Serializes pipe writes between the job loop and the heartbeat thread."""
+
+    def __init__(self, conn):
+        self._conn = conn
+        self._lock = threading.Lock()
+
+    def send(self, message) -> bool:
+        with self._lock:
+            try:
+                self._conn.send(message)
+                return True
+            except (BrokenPipeError, OSError):
+                # Supervisor gone; the worker will exit on its next recv.
+                return False
+
+
+def _heartbeat_loop(sender: _Sender, slot: int, interval: float, stop: threading.Event) -> None:
+    seq = 0
+    while not stop.wait(interval):
+        seq += 1
+        if not sender.send(Heartbeat(slot=slot, seq=seq)):
+            return
+
+
+def _apply_fault(fault: str | None, stop_heartbeats: threading.Event, job_id: str) -> None:
+    """Honour a chaos directive; returns only if execution should proceed."""
+    if fault is None:
+        return
+    if fault == FAULT_CRASH:
+        os._exit(CRASH_EXIT_CODE)
+    if fault == FAULT_FREEZE:
+        stop_heartbeats.set()
+        time.sleep(FAULT_SLEEP_SECONDS)
+    if fault == FAULT_HANG:
+        time.sleep(FAULT_SLEEP_SECONDS)
+    if fault == FAULT_SLOW:
+        time.sleep(SLOW_SECONDS)
+        return
+    if fault == FAULT_ERROR:
+        raise RuntimeError(f"injected fault for job {job_id}")
+
+
+def fleet_worker_main(slot: int, conn, heartbeat_interval: float) -> None:
+    """Child-process entry point; never raises (reports failures over the pipe)."""
+    sender = _Sender(conn)
+    stop_heartbeats = threading.Event()
+    threading.Thread(
+        target=_heartbeat_loop,
+        args=(sender, slot, heartbeat_interval, stop_heartbeats),
+        name=f"fleet-heartbeat-{slot}",
+        daemon=True,
+    ).start()
+    try:
+        context = WorkerContext()
+        sender.send(Ready(slot=slot, pid=os.getpid()))
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if isinstance(message, Stop):
+                break
+            if not isinstance(message, Job):
+                continue
+            sender.send(JobStarted(job_id=message.job_id))
+            try:
+                _apply_fault(message.fault, stop_heartbeats, message.job_id)
+                payload = execute_unit(context, message.unit)
+            except Exception as exc:
+                sender.send(
+                    JobFailure(job_id=message.job_id, error=f"{type(exc).__name__}: {exc}")
+                )
+            else:
+                sender.send(JobResult(job_id=message.job_id, payload=payload))
+    finally:
+        stop_heartbeats.set()
+        try:
+            conn.close()
+        except OSError:
+            pass

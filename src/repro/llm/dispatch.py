@@ -153,6 +153,8 @@ class DispatchStats:
     batches: int = 0
     retries: int = 0
     failures: int = 0
+    timeouts: int = 0
+    cancelled: int = 0
     max_batch_size: int = 0
     batched_requests: int = 0
     batch_sizes: list[int] = field(default_factory=list)
@@ -177,6 +179,8 @@ class DispatchStats:
             "batches": self.batches,
             "retries": self.retries,
             "failures": self.failures,
+            "timeouts": self.timeouts,
+            "cancelled": self.cancelled,
             "mean_batch_size": round(self.mean_batch_size, 3),
             "max_batch_size": self.max_batch_size,
         }
@@ -208,6 +212,14 @@ class BatchingDispatcher:
     model profile are in flight at once; ``retry`` resubmits failed requests
     with jittered exponential backoff.
 
+    ``request_timeout`` bounds every completion *attempt*: an attempt slower
+    than that many seconds is abandoned, counted in ``stats.timeouts`` and
+    retried under the same policy as a transport error (so a wedged provider
+    call cannot hold its batch slot forever).  Cancellation propagates both
+    ways — a caller abandoning ``complete`` marks its request cancelled so
+    workers skip it, and cancelled requests never have results forced on
+    them.
+
     A dispatcher instance is bound to the event loop it first runs on.
     """
 
@@ -222,15 +234,19 @@ class BatchingDispatcher:
         per_profile_limit: int | None = None,
         retry: RetryPolicy | None = None,
         retry_seed: int | None = None,
+        request_timeout: float | None = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError("request_timeout must be > 0 or None")
         self.default_client = default_client
         self.batch_window = batch_window
         self.max_batch = max_batch
         self.rate_limiter = rate_limiter
         self.per_profile_limit = per_profile_limit
         self.retry = retry or RetryPolicy()
+        self.request_timeout = request_timeout
         self.stats = DispatchStats()
         self._rng = random.Random(retry_seed)
         self._pending: list[_Request] = []
@@ -283,7 +299,17 @@ class BatchingDispatcher:
             self._flush_all()
         elif self._timer is None:
             self._timer = loop.create_task(self._flush_after_window())
-        return await future
+        try:
+            return await future
+        except asyncio.CancelledError:
+            # The caller gave up (session cancelled, service closing): leave
+            # the request future cancelled so batch workers skip it instead
+            # of completing work nobody is waiting for.
+            if not future.done():
+                future.cancel()
+            if future.cancelled():
+                self.stats.cancelled += 1
+            raise
 
     async def _flush_after_window(self) -> None:
         try:
@@ -316,10 +342,18 @@ class BatchingDispatcher:
                     await self._execute_batch(batch)
             else:
                 await self._execute_batch(batch)
-        except Exception as exc:  # defensive: a failed batch must not hang waiters
+        except asyncio.CancelledError:
+            for request in batch:
+                if not request.future.done():
+                    request.future.cancel()
+            raise
+        except BaseException as exc:  # defensive: a failed batch must not hang waiters
             for request in batch:
                 if not request.future.done():
                     request.future.set_exception(exc)
+            if not isinstance(exc, Exception):
+                # KeyboardInterrupt & co. must still take the task down.
+                raise
 
     async def _execute_batch(self, batch: list[_Request]) -> None:
         if self.rate_limiter is not None:
@@ -341,21 +375,37 @@ class BatchingDispatcher:
 
     # ------------------------------------------------------------- completion
 
+    async def _await_value(self, value):
+        """Await an awaitable completion under the per-attempt timeout."""
+        if not inspect.isawaitable(value):
+            # Synchronous clients complete inline; there is nothing to bound.
+            return value
+        if self.request_timeout is None:
+            return await value
+        return await asyncio.wait_for(asyncio.ensure_future(value), self.request_timeout)
+
     async def _call(self, client, messages: list[ChatMessage]) -> str:
-        value = client.complete(messages)
-        if inspect.isawaitable(value):
-            value = await value
-        return value
+        return await self._await_value(client.complete(messages))
 
     async def _complete_single(self, request: _Request) -> None:
         attempt = 0
         while True:
+            if request.future.done():
+                return  # The caller abandoned this request; spend nothing on it.
             try:
                 result = await self._call(request.client, request.messages)
                 if not request.future.done():
                     request.future.set_result(result)
                 return
+            except asyncio.CancelledError:
+                raise
             except Exception as exc:
+                timed_out = isinstance(exc, (asyncio.TimeoutError, TimeoutError))
+                if timed_out:
+                    self.stats.timeouts += 1
+                    exc = TimeoutError(
+                        f"completion attempt exceeded {self.request_timeout}s"
+                    )
                 attempt += 1
                 if attempt > self.retry.attempts:
                     self.stats.failures += 1
@@ -366,21 +416,25 @@ class BatchingDispatcher:
                 await asyncio.sleep(self.retry.delay(attempt, self._rng))
 
     async def _complete_grouped(self, group: list[_Request]) -> None:
+        group = [request for request in group if not request.future.done()]
+        if not group:
+            return
         try:
             value = self.default_client.complete_batch(
                 [request.messages for request in group]
             )
-            if inspect.isawaitable(value):
-                value = await value
+            value = await self._await_value(value)
             results = list(value)
             if len(results) != len(group):
                 raise RuntimeError(
                     f"complete_batch returned {len(results)} results for {len(group)} requests"
                 )
-        except Exception:
+        except Exception as exc:
+            if isinstance(exc, (asyncio.TimeoutError, TimeoutError)):
+                self.stats.timeouts += 1
             # One poisoned request must not sink its batch-mates: degrade to
-            # per-request completion, where the retry policy isolates
-            # failures to the requests that actually caused them.
+            # per-request completion, where the retry policy (and per-attempt
+            # timeout) isolates failures to the requests that caused them.
             await asyncio.gather(*(self._complete_single(request) for request in group))
             return
         for request, result in zip(group, results):

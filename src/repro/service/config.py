@@ -19,6 +19,8 @@ RATE_LIMIT_ENV = "REPRO_SERVICE_RATE_LIMIT"
 MAX_BATCH_ENV = "REPRO_SERVICE_MAX_BATCH"
 QUEUE_LIMIT_ENV = "REPRO_SERVICE_QUEUE_LIMIT"
 TOOL_WORKERS_ENV = "REPRO_SERVICE_TOOL_WORKERS"
+FLEET_WORKERS_ENV = "REPRO_SERVICE_FLEET_WORKERS"
+REQUEST_TIMEOUT_ENV = "REPRO_SERVICE_REQUEST_TIMEOUT"
 
 
 def _env_float(name: str) -> float | None:
@@ -55,6 +57,14 @@ class ServiceConfig:
     :class:`~repro.experiments.store.ResultStore` shared with the sweep
     engine, so specs already swept are served without any LLM traffic;
     ``memo_size`` bounds the in-process payload memo in front of it.
+
+    ``fleet_workers`` > 0 routes unit execution through a supervised
+    :class:`~repro.fleet.supervisor.FleetSupervisor` of that many worker
+    processes (crash isolation: a unit that takes a worker down no longer
+    takes the service event loop with it); 0 keeps the in-process path.
+    ``request_timeout`` bounds each LLM dispatch attempt in seconds
+    (``None`` disables the bound); timed-out attempts are retried like
+    transport errors and counted in ``DispatchStats.timeouts``.
     """
 
     max_in_flight: int = 32
@@ -67,6 +77,8 @@ class ServiceConfig:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     store_path: str | None = None
     memo_size: int = 8192
+    fleet_workers: int = 0
+    request_timeout: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_in_flight < 1:
@@ -75,6 +87,10 @@ class ServiceConfig:
             raise ValueError("queue_limit must be >= 1")
         if self.tool_workers < 1:
             raise ValueError("tool_workers must be >= 1")
+        if self.fleet_workers < 0:
+            raise ValueError("fleet_workers must be >= 0")
+        if self.request_timeout is not None and self.request_timeout <= 0:
+            raise ValueError("request_timeout must be > 0 or None")
 
     @classmethod
     def from_environment(cls) -> "ServiceConfig":
@@ -97,6 +113,12 @@ class ServiceConfig:
         tool_workers = _env_int(TOOL_WORKERS_ENV)
         if tool_workers is not None:
             config.tool_workers = max(1, tool_workers)
+        fleet_workers = _env_int(FLEET_WORKERS_ENV)
+        if fleet_workers is not None:
+            config.fleet_workers = max(0, fleet_workers)
+        request_timeout = _env_float(REQUEST_TIMEOUT_ENV)
+        if request_timeout is not None:
+            config.request_timeout = request_timeout if request_timeout > 0 else None
         store_raw = os.environ.get(RESULT_STORE_ENV, "").strip()
         if store_raw.lower() not in _DISABLED_STORE_VALUES:
             config.store_path = store_raw

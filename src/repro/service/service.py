@@ -16,7 +16,13 @@ step-wise session (see :mod:`repro.core.session`) on one asyncio event loop:
   memoized in-process, served from a persistent
   :class:`~repro.experiments.store.ResultStore` when one is configured, and
   duplicate in-flight specs coalesce onto a single execution — repeat specs
-  cost zero LLM calls.
+  cost zero LLM calls;
+* **crash isolation** (``fleet_workers > 0``) executes units on a supervised
+  :class:`~repro.fleet.supervisor.FleetSupervisor` of worker processes
+  instead of in-process sessions: a unit that crashes or wedges its worker
+  is re-queued onto a restarted one and never takes the event loop down.
+  Fleet workers run their own deterministically seeded clients, so payloads
+  stay bit-identical to the in-process path.
 
 Every session owns its deterministically seeded client, so results are
 bit-identical to blocking ``ReChisel.run`` / ``ZeroShotRunner.run`` /
@@ -90,6 +96,11 @@ class GenerationService:
         # accumulate payloads forever; the persistent store is the durable tier.
         self._memo: LruCache[dict] = LruCache(self.config.memo_size)
         self._inflight: dict[str, asyncio.Future] = {}
+        # Futures of jobs a worker has dequeued but not yet resolved; swept at
+        # close so a dying worker can never strand its submitter.
+        self._active: dict[int, asyncio.Future] = {}
+        self._fleet = None  # FleetSupervisor when config.fleet_workers > 0
+        self._fleet_health: dict = {}  # last health report, survives close()
 
     # -------------------------------------------------------------- lifecycle
 
@@ -109,7 +120,16 @@ class GenerationService:
             per_profile_limit=config.per_profile_limit,
             retry=config.retry,
             retry_seed=0,
+            request_timeout=config.request_timeout,
         )
+        if config.fleet_workers > 0 and self._fleet is None:
+            from repro.fleet import FleetConfig, FleetSupervisor
+
+            fleet_config = FleetConfig.from_environment(
+                FleetConfig(workers=config.fleet_workers)
+            )
+            self._fleet = FleetSupervisor(fleet_config)
+            self._fleet.start()
         self._queue = asyncio.Queue(maxsize=config.queue_limit)
         self._tools = ThreadPoolExecutor(
             max_workers=config.tool_workers, thread_name_prefix="repro-svc-tool"
@@ -123,8 +143,21 @@ class GenerationService:
         if self._workers:
             await asyncio.gather(*self._workers, return_exceptions=True)
         self._workers = []
+        # A worker that died between dequeuing a job and resolving its future
+        # (cancelled at an interior await, or killed by a non-Exception) left
+        # that future in _active; fail it so the submitter wakes up.
+        for future in list(self._active.values()):
+            if not future.done():
+                future.set_exception(
+                    RuntimeError("generation service closed while the job was in flight")
+                )
+        self._active.clear()
         if self._queue is not None:
             await self._fail_queued_jobs()
+        if self._fleet is not None:
+            self._fleet_health = self._fleet.health()
+            self._fleet.close()
+            self._fleet = None
         if self._tools is not None:
             self._tools.shutdown(wait=True)
             self._tools = None
@@ -184,6 +217,7 @@ class GenerationService:
         return self.telemetry.snapshot(
             queue_depth=self._queue.qsize() if self._queue is not None else 0,
             dispatcher_stats=self.dispatcher.stats.snapshot() if self.dispatcher else None,
+            fleet_health=self._fleet.health() if self._fleet is not None else self._fleet_health,
         )
 
     # ---------------------------------------------------------------- workers
@@ -191,6 +225,7 @@ class GenerationService:
     async def _worker(self) -> None:
         while True:
             unit, future = await self._queue.get()
+            self._active[id(future)] = future
             try:
                 payload = await self._execute(unit)
             except asyncio.CancelledError:
@@ -201,11 +236,22 @@ class GenerationService:
                 self.telemetry.failed += 1
                 if not future.done():
                     future.set_exception(exc)
+            except BaseException:
+                # The worker task itself is dying (KeyboardInterrupt & co.);
+                # resolve the job so its submitter isn't stranded, then let
+                # the exception take the task down.
+                self.telemetry.failed += 1
+                if not future.done():
+                    future.set_exception(RuntimeError("generation worker died mid-job"))
+                raise
             else:
                 self.telemetry.completed += 1
                 if not future.done():
                     future.set_result(payload)
             finally:
+                # Leave unresolved futures registered: close() fails them.
+                if future.done():
+                    self._active.pop(id(future), None)
                 self._queue.task_done()
 
     async def _execute(self, unit: WorkUnit) -> dict:
@@ -235,9 +281,12 @@ class GenerationService:
         self.telemetry.in_flight += 1
         started = loop.time()
         try:
-            client = self._client_factory(unit)
-            session = strategy_from_unit(unit).session(self.context, unit, client)
-            payload = await self._drive(session, client, unit.model)
+            if self._fleet is not None:
+                payload = await asyncio.wrap_future(self._fleet.submit(unit))
+            else:
+                client = self._client_factory(unit)
+                session = strategy_from_unit(unit).session(self.context, unit, client)
+                payload = await self._drive(session, client, unit.model)
         except BaseException as exc:
             if not barrier.done():
                 barrier.set_exception(exc)

@@ -44,6 +44,9 @@ class ServiceSnapshot:
     # Toolchain cache counters (repro.caching.cache_stats()): parse,
     # elaborate, compile, pass-pipeline, emit, kernel and trace caches.
     caches: dict = field(default_factory=dict)
+    # Worker-health report from the generation fleet's supervisor
+    # (FleetSupervisor.health()); empty when the service runs in-process.
+    fleet: dict = field(default_factory=dict)
 
     @property
     def cache_hits(self) -> int:
@@ -70,7 +73,8 @@ class ServiceSnapshot:
                 f"{self.dispatcher.get('batches', 0)} batches "
                 f"(mean {self.dispatcher.get('mean_batch_size', 0.0)}, "
                 f"max {self.dispatcher.get('max_batch_size', 0)}; "
-                f"retries {self.dispatcher.get('retries', 0)})"
+                f"retries {self.dispatcher.get('retries', 0)}, "
+                f"timeouts {self.dispatcher.get('timeouts', 0)})"
             )
         if self.caches:
             parts = [
@@ -78,6 +82,17 @@ class ServiceSnapshot:
                 for name, counters in sorted(self.caches.items())
             ]
             lines.append("toolchain caches (hits/lookups)  " + ", ".join(parts))
+        if self.fleet:
+            workers = self.fleet.get("workers", [])
+            counters = self.fleet.get("counters", {})
+            state = "DEGRADED (in-process)" if self.fleet.get("degraded") else "supervised"
+            lines.append(
+                "fleet            "
+                f"{self.fleet.get('alive', 0)}/{len(workers)} workers alive ({state}); "
+                f"restarts {counters.get('restarts', 0)}, "
+                f"requeues {counters.get('requeues', 0)}, "
+                f"evictions {counters.get('evictions', 0)}"
+            )
         return "\n".join(lines)
 
 
@@ -98,7 +113,12 @@ class Telemetry:
     def record_latency(self, seconds: float) -> None:
         self._latencies.append(seconds)
 
-    def snapshot(self, queue_depth: int = 0, dispatcher_stats: dict | None = None) -> ServiceSnapshot:
+    def snapshot(
+        self,
+        queue_depth: int = 0,
+        dispatcher_stats: dict | None = None,
+        fleet_health: dict | None = None,
+    ) -> ServiceSnapshot:
         samples = list(self._latencies)
         return ServiceSnapshot(
             queue_depth=queue_depth,
@@ -115,4 +135,5 @@ class Telemetry:
             p95_latency=percentile(samples, 0.95),
             dispatcher=dict(dispatcher_stats or {}),
             caches=cache_stats(),
+            fleet=dict(fleet_health or {}),
         )

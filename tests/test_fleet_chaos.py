@@ -1,0 +1,266 @@
+"""Fault-injection (chaos) tests for the generation fleet.
+
+Every scenario asserts the same two things:
+
+1. **bit-identity** — whatever is killed, hung, frozen or poisoned, the
+   payloads the supervisor returns are exactly what ``SerialExecutor`` would
+   have produced;
+2. **supervision evidence** — the event log shows the supervisor actually
+   detected and recovered from the fault (worker-lost, lease-requeue,
+   restart, quarantine, …), so a scenario that accidentally stops injecting
+   faults fails loudly instead of passing vacuously.
+
+Set ``REPRO_FLEET_EVENT_DIR`` to a directory to dump each scenario's full
+supervisor event log as JSON lines (the CI chaos-smoke job uploads these as
+artifacts on failure).
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.experiments.executors import SerialExecutor
+from repro.experiments.work import WorkerContext, WorkUnit
+from repro.fleet import (
+    FAULT_CRASH,
+    FAULT_ERROR,
+    FAULT_FREEZE,
+    FAULT_HANG,
+    FAULT_SLOW,
+    FleetConfig,
+    FleetJobError,
+    FleetSupervisor,
+)
+
+pytestmark = pytest.mark.chaos
+
+EVENT_DIR_ENV = "REPRO_FLEET_EVENT_DIR"
+
+RECHISEL_KNOBS = (
+    ("enable_escape", True),
+    ("feedback_detail", "full"),
+    ("use_knowledge", True),
+)
+
+
+def make_units(samples=2):
+    units = []
+    specs = [
+        ("zero_shot", (("language", "chisel"),), 0),
+        ("rechisel", RECHISEL_KNOBS, 4),
+        ("autochip", (), 4),
+    ]
+    for strategy, knobs, max_iterations in specs:
+        for sample in range(samples):
+            units.append(
+                WorkUnit(strategy, "GPT-4o mini", "alu_w4", 0, sample, 0, max_iterations, knobs)
+            )
+    return units
+
+
+def serial_payloads(units):
+    executor = SerialExecutor(WorkerContext())
+    ordered = [None] * len(units)
+    for index, payload in executor.run_stream(units):
+        ordered[index] = payload
+    return ordered
+
+
+def wait_for_event(supervisor, kind, count=1, timeout=10.0):
+    """Recovery (e.g. a restart after backoff) may outlive the sweep itself."""
+    deadline = time.monotonic() + timeout
+    while supervisor.events.count(kind) < count:
+        assert time.monotonic() < deadline, f"never saw {count}x {kind!r}"
+        time.sleep(0.02)
+
+
+FAST = FleetConfig(
+    workers=2,
+    heartbeat_interval=0.1,
+    heartbeat_misses=3,
+    lease_timeout=30.0,
+    restart_backoff=0.05,
+    restart_backoff_max=0.2,
+)
+
+
+@pytest.fixture
+def supervised(request):
+    """Build supervisors, always close them, dump event logs if asked to."""
+    supervisors = []
+
+    def build(config: FleetConfig, **kwargs) -> FleetSupervisor:
+        supervisor = FleetSupervisor(config, **kwargs)
+        supervisors.append(supervisor)
+        return supervisor.start()
+
+    yield build
+    event_dir = os.environ.get(EVENT_DIR_ENV, "").strip()
+    for number, supervisor in enumerate(supervisors):
+        if event_dir:
+            name = f"{request.node.name}-{number}.jsonl".replace("/", "_")
+            supervisor.events.dump(os.path.join(event_dir, name))
+        supervisor.close()
+
+
+class TestCrashRecovery:
+    def test_injected_crash_mid_job_requeues_and_matches_serial(self, supervised):
+        """A worker that dies executing a job: re-queue, restart, same bits."""
+        units = make_units()
+        expected = serial_payloads(units)
+        crash_unit = units[0]
+
+        def injector(unit, attempt):
+            if unit == crash_unit and attempt == 0:
+                return FAULT_CRASH
+            return None
+
+        supervisor = supervised(FAST, fault_injector=injector)
+        assert supervisor.run(units) == expected
+        assert supervisor.events.count("worker-lost") >= 1
+        wait_for_event(supervisor, "restart")
+        requeued = {
+            job
+            for entry in supervisor.events.events("lease-requeue")
+            for job in [entry["job"]]
+        }
+        assert requeued, "the crashed worker's lease was never re-queued"
+        assert supervisor.health()["counters"]["crashes"] >= 1
+
+    def test_sigkill_random_worker_mid_sweep_matches_serial(self, supervised):
+        """An external SIGKILL (the acceptance scenario): bit-identical results."""
+        units = make_units(samples=3)
+        expected = serial_payloads(units)
+
+        # Slow every first attempt slightly so the kill reliably lands while
+        # jobs are in flight, without changing any payload.
+        def injector(unit, attempt):
+            return FAULT_SLOW if attempt == 0 else None
+
+        supervisor = supervised(FAST, fault_injector=injector)
+        futures = [supervisor.submit(unit) for unit in units]
+        deadline = time.monotonic() + 10.0
+        while not supervisor.worker_pids():
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        victim = sorted(supervisor.worker_pids().items())[0][1]
+        time.sleep(0.1)  # let jobs start executing
+        os.kill(victim, signal.SIGKILL)
+
+        payloads = [future.result(timeout=120) for future in futures]
+        assert payloads == expected
+        assert supervisor.events.count("worker-lost") >= 1
+        wait_for_event(supervisor, "restart")
+
+
+class TestHangsAndFreezes:
+    def test_hung_job_expires_its_lease(self, supervised):
+        """A hang with healthy heartbeats is caught by the lease timeout."""
+        units = make_units(samples=1)
+        expected = serial_payloads(units)
+        hung = units[-1]
+
+        def injector(unit, attempt):
+            if unit == hung and attempt == 0:
+                return FAULT_HANG
+            return None
+
+        config = FleetConfig(
+            workers=2,
+            heartbeat_interval=0.1,
+            heartbeat_misses=50,  # heartbeats stay healthy; the lease must trip
+            lease_timeout=0.6,
+            restart_backoff=0.05,
+        )
+        supervisor = supervised(config, fault_injector=injector)
+        assert supervisor.run(units) == expected
+        assert supervisor.events.count("lease-expired") >= 1
+        assert supervisor.health()["counters"]["lease_expirations"] >= 1
+
+    def test_frozen_worker_is_caught_by_heartbeats(self, supervised):
+        """A wedged process that stops heartbeating is killed and replaced."""
+        units = make_units(samples=1)
+        expected = serial_payloads(units)
+        frozen = units[0]
+
+        def injector(unit, attempt):
+            if unit == frozen and attempt == 0:
+                return FAULT_FREEZE
+            return None
+
+        supervisor = supervised(FAST, fault_injector=injector)
+        assert supervisor.run(units) == expected
+        assert supervisor.events.count("heartbeat-miss") >= 1
+        assert supervisor.health()["counters"]["heartbeat_misses"] >= 1
+
+
+class TestPoisonAndDegradation:
+    def test_poisoned_job_is_quarantined_not_fatal(self, supervised):
+        """A job that always kills its worker runs in-process after N deaths."""
+        units = make_units()
+        expected = serial_payloads(units)
+        poison = units[1]
+
+        def injector(unit, attempt):
+            return FAULT_CRASH if unit == poison else None
+
+        supervisor = supervised(FAST, fault_injector=injector)
+        assert supervisor.run(units) == expected
+        assert supervisor.events.count("quarantine") == 1
+        assert supervisor.events.count("inline-execution") == 1
+        # Quarantine must blame only the poisoned job, never its pipe-mates.
+        assert supervisor.health()["counters"]["quarantined"] == 1
+
+    def test_clean_job_failure_does_not_kill_the_worker(self, supervised):
+        units = make_units(samples=1)
+        failing = units[0]
+
+        def injector(unit, attempt):
+            return FAULT_ERROR if unit == failing else None
+
+        supervisor = supervised(FAST, fault_injector=injector)
+        futures = [supervisor.submit(unit) for unit in units]
+        with pytest.raises(FleetJobError):
+            futures[0].result(timeout=60)
+        expected = serial_payloads(units[1:])
+        assert [f.result(timeout=60) for f in futures[1:]] == expected
+        assert supervisor.events.count("worker-lost") == 0
+        assert supervisor.health()["counters"]["failed"] == 1
+
+    def test_full_eviction_degrades_to_inline_execution(self, supervised):
+        """Every worker evicted -> supervisor executes in-process, same bits.
+
+        One unit crashes its worker on *every* attempt, and quarantine is
+        disabled, so it marches through the fleet killing each worker twice
+        (``max_restarts=1``) until every slot is evicted; the supervisor must
+        then degrade to in-process execution and still return serial bits.
+        """
+        units = make_units(samples=1)
+        expected = serial_payloads(units)
+        wrecker = units[0]
+
+        def injector(unit, attempt):
+            return FAULT_CRASH if unit == wrecker else None
+
+        config = FleetConfig(
+            workers=2,
+            heartbeat_interval=0.1,
+            heartbeat_misses=3,
+            restart_backoff=0.02,
+            restart_backoff_max=0.05,
+            max_restarts=1,
+            poison_threshold=100,  # never quarantine; force evictions instead
+        )
+        supervisor = supervised(config, fault_injector=injector)
+        assert supervisor.run(units) == expected
+        health = supervisor.health()
+        assert health["degraded"] is True
+        assert health["alive"] == 0
+        assert supervisor.events.count("evict") == 2
+        assert supervisor.events.count("fleet-degraded") == 1
+        assert supervisor.events.count("inline-execution") >= 1
+        # A degraded supervisor still serves new work correctly.
+        more = make_units(samples=2)
+        assert supervisor.run(more) == serial_payloads(more)

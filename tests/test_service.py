@@ -162,6 +162,65 @@ class TestServiceCaching:
         ), results
         assert any(isinstance(result, RuntimeError) for result in results)
 
+    def test_worker_killed_mid_job_never_strands_its_submitter(self):
+        """Regression: a worker dying between dequeuing a job and resolving
+        its future (a non-Exception escaping ``_execute``) used to leave the
+        submitter awaiting forever; the in-flight registry must resolve it."""
+        units = make_units(samples=1)[:2]
+
+        class WorkerKiller(BaseException):
+            """Not an Exception: escapes the worker's normal handler."""
+
+        class LethalClient:
+            async def complete(self, messages):
+                await asyncio.sleep(0)
+                raise WorkerKiller()
+
+        async def main():
+            service = GenerationService(
+                ServiceConfig(max_in_flight=2),
+                client_factory=lambda unit: LethalClient(),
+            )
+            await service.start()
+            tasks = [asyncio.create_task(service.submit(unit)) for unit in units]
+            done, pending = await asyncio.wait(tasks, timeout=5)
+            assert not pending, "submitters were stranded by the dying worker"
+            await service.close()
+            return [task.exception() for task in tasks]
+
+        results = asyncio.run(main())
+        assert all(isinstance(result, RuntimeError) for result in results), results
+
+    def test_close_resolves_futures_of_cancelled_in_flight_jobs(self):
+        """Jobs being executed at close (not merely queued) must resolve too."""
+        units = make_units(samples=1)[:3]
+        entered = []
+
+        class StuckClient:
+            async def complete(self, messages):
+                entered.append(True)
+                await asyncio.sleep(3600)
+                raise AssertionError("unreachable")
+
+        async def main():
+            service = GenerationService(
+                ServiceConfig(max_in_flight=len(units)),
+                client_factory=lambda unit: StuckClient(),
+            )
+            await service.start()
+            tasks = [asyncio.create_task(service.submit(unit)) for unit in units]
+            while len(entered) < len(units):
+                await asyncio.sleep(0.01)
+            await service.close()
+            done, pending = await asyncio.wait(tasks, timeout=5)
+            assert not pending, "in-flight submitters were left hanging at close"
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        results = asyncio.run(main())
+        assert all(
+            isinstance(result, (RuntimeError, asyncio.CancelledError)) for result in results
+        ), results
+
     def test_backpressure_queue_stays_bounded(self):
         units = make_units(samples=2)
         config = ServiceConfig(max_in_flight=2, queue_limit=2)
@@ -323,6 +382,114 @@ class TestDispatcher:
         stats = self.run(main())
         assert stats.failures == 1
         assert stats.retries == 1
+
+    def test_request_timeout_retries_then_succeeds(self):
+        class SlowThenFastClient:
+            def __init__(self):
+                self.calls = 0
+
+            async def complete(self, messages):
+                self.calls += 1
+                if self.calls <= 2:
+                    await asyncio.sleep(60)
+                return "eventually"
+
+        async def main():
+            dispatcher = BatchingDispatcher(
+                request_timeout=0.02,
+                retry=RetryPolicy(attempts=3, base_delay=0.001),
+                retry_seed=0,
+            )
+            result = await dispatcher.complete(
+                [ChatMessage("user", "q")], client=SlowThenFastClient()
+            )
+            return result, dispatcher.stats
+
+        result, stats = self.run(main())
+        assert result == "eventually"
+        assert stats.timeouts == 2
+        assert stats.retries == 2
+        assert stats.failures == 0
+        assert stats.snapshot()["timeouts"] == 2
+
+    def test_request_timeout_exhaustion_raises_timeout_error(self):
+        class WedgedClient:
+            async def complete(self, messages):
+                await asyncio.sleep(60)
+
+        async def main():
+            dispatcher = BatchingDispatcher(
+                request_timeout=0.01,
+                retry=RetryPolicy(attempts=1, base_delay=0.001),
+                retry_seed=0,
+            )
+            with pytest.raises(TimeoutError):
+                await dispatcher.complete([ChatMessage("user", "q")], client=WedgedClient())
+            return dispatcher.stats
+
+        stats = self.run(main())
+        assert stats.failures == 1
+        assert stats.timeouts == 2  # the first attempt and its one retry
+
+    def test_request_timeout_rejects_nonpositive_values(self):
+        with pytest.raises(ValueError):
+            BatchingDispatcher(request_timeout=0)
+
+    def test_caller_cancellation_propagates_and_is_skipped(self):
+        class NeverClient:
+            def __init__(self):
+                self.started = asyncio.Event()
+                self.calls = 0
+
+            async def complete(self, messages):
+                self.calls += 1
+                self.started.set()
+                await asyncio.sleep(60)
+
+        async def main():
+            dispatcher = BatchingDispatcher(retry=RetryPolicy(attempts=0))
+            client = NeverClient()
+            task = asyncio.create_task(
+                dispatcher.complete([ChatMessage("user", "q")], client=client)
+            )
+            await client.started.wait()
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            return dispatcher.stats
+
+        stats = self.run(main())
+        assert stats.cancelled == 1
+
+    def test_abandoned_request_is_not_attempted(self):
+        """A request whose caller cancelled before its batch ran costs nothing."""
+
+        class CountingClient:
+            def __init__(self):
+                self.calls = 0
+
+            async def complete(self, messages):
+                self.calls += 1
+                return "ok"
+
+        async def main():
+            dispatcher = BatchingDispatcher(batch_window=0.05, max_batch=16)
+            client = CountingClient()
+            doomed = asyncio.create_task(
+                dispatcher.complete([ChatMessage("user", "dead")], client=client)
+            )
+            await asyncio.sleep(0)  # enqueue it, batch window still open
+            doomed.cancel()
+            survivor = await dispatcher.complete([ChatMessage("user", "live")], client=client)
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+            await dispatcher.drain()
+            return survivor, client.calls, dispatcher.stats
+
+        survivor, calls, stats = self.run(main())
+        assert survivor == "ok"
+        assert calls == 1
+        assert stats.cancelled == 1
 
     def test_per_profile_concurrency_cap(self):
         class GaugeClient:

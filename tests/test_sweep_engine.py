@@ -82,15 +82,19 @@ class TestResultStore:
         with ResultStore(path) as store:
             store.put("fp1", _unit(), {"outcome": "success"})
             store.put("fp2", _unit(sample=0), {"outcome": "syntax"})
-        # Simulate a run killed mid-write: a torn, undecodable trailing line.
-        with path.open("a") as handle:
+        # Simulate a run killed mid-write: a torn, undecodable trailing line
+        # in the active tail segment.
+        with (path / "tail.jsonl").open("a") as handle:
             handle.write('{"v": 1, "fp": "tor')
         reloaded = ResultStore(path)
         assert reloaded.get("fp1") == {"outcome": "success"}
         assert "fp2" in reloaded
         assert len(reloaded) == 2
+        assert reloaded.stats()["truncated_bytes"] > 0
 
     def test_incompatible_version_is_ignored(self, tmp_path):
+        # A legacy single-file store is migrated on open; stale-version
+        # records are dropped during the migration.
         path = tmp_path / "results.jsonl"
         record = {"v": PAYLOAD_VERSION + 1, "fp": "fp1", "payload": {"outcome": "success"}}
         path.write_text(json.dumps(record) + "\n")
