@@ -8,6 +8,8 @@ Usage::
 Covers the raw toolchain throughput (compile + simulate one case), the
 batched verification engine (cold candidate, warm iteration-k+1 and trace vs
 step-wise testbench backends, with asserted minimum speedups), the
+vectorized simulation backend (deep-verify speedup over the scalar trace
+kernels and the 16-candidate lockstep multiple), the
 sweep-engine throughput (quick-scale Table I sweep: serial vs parallel
 executors, cold vs warm result store), the supervised generation fleet
 (warm-fleet throughput vs the serial baseline, O(1) result-store lookups),
@@ -21,14 +23,59 @@ format (one entry per benchmark with min/mean/stddev/rounds), written to
 comparisons then only need to diff that file; run it alongside the tier-1
 suite when touching the simulator, the Verilog frontend, the toolchain
 facades or the sweep engine.
+
+Each successful run also appends one timestamped line to
+``BENCH_history.jsonl`` at the repo root — benchmark name to mean/min
+seconds, keyed by UTC time and the current commit — so the perf trajectory
+is a queryable trend, not just the latest snapshot.
 """
 
 from __future__ import annotations
 
+import datetime
+import json
 import os
+import subprocess
 import sys
 
 import pytest
+
+
+def _current_commit(root: str) -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def append_history(root: str, results_path: str, history_path: str | None = None) -> None:
+    """Append one timestamped snapshot line per run to ``BENCH_history.jsonl``."""
+    with open(results_path, "r", encoding="utf-8") as handle:
+        results = json.load(handle)
+    snapshot = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "commit": _current_commit(root),
+        "benchmarks": {
+            entry["name"]: {
+                "mean": entry["stats"]["mean"],
+                "min": entry["stats"]["min"],
+                "rounds": entry["stats"]["rounds"],
+            }
+            for entry in results.get("benchmarks", [])
+        },
+    }
+    path = history_path or os.path.join(root, "BENCH_history.jsonl")
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(snapshot, sort_keys=True) + "\n")
 
 
 def main(argv: list[str]) -> int:
@@ -37,10 +84,11 @@ def main(argv: list[str]) -> int:
     src = os.path.join(root, "src")
     sys.path.insert(0, src)
     os.environ["PYTHONPATH"] = src + os.pathsep + os.environ.get("PYTHONPATH", "")
-    return pytest.main(
+    status = pytest.main(
         [
             os.path.join(root, "benchmarks", "test_toolchain_throughput.py"),
             os.path.join(root, "benchmarks", "test_verify_throughput.py"),
+            os.path.join(root, "benchmarks", "test_vector_throughput.py"),
             os.path.join(root, "benchmarks", "test_sweep_throughput.py"),
             os.path.join(root, "benchmarks", "test_fleet_throughput.py"),
             os.path.join(root, "benchmarks", "test_service_throughput.py"),
@@ -50,6 +98,9 @@ def main(argv: list[str]) -> int:
             "-q",
         ]
     )
+    if status == 0:
+        append_history(root, output)
+    return status
 
 
 if __name__ == "__main__":

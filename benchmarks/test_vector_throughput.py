@@ -1,0 +1,143 @@
+"""Benchmark: vectorized simulation backend vs the scalar trace kernels.
+
+Two regimes are recorded into ``BENCH_toolchain.json`` by
+``python benchmarks/run_benchmarks.py``:
+
+* ``test_vector_deep_verify_speedup`` — one structurally distinct candidate
+  against the golden ALU over a deep (4096-point) combinational stimulus
+  program.  The scalar trace kernel loops over points in Python; the vector
+  kernel evaluates every point as a NumPy lane in one call.  Asserted ≥3x
+  the scalar trace backend;
+* ``test_vector_lockstep_16_candidates`` — 16 structurally identical
+  sequential candidates verified through ``run_testbenches``: jobs sharing a
+  kernel run in lockstep (distinct stimulus rows become lanes; duplicate
+  (module, stimulus) rows collapse onto shared lanes).  The multiple over 16
+  per-job scalar trace runs is asserted above break-even and recorded — the
+  lane count (16) is too small for the deep-verify margin, so the tight
+  regression gate stays on the points-mode benchmark above.
+
+The regression guard lives in the assertions: CI fails if the vector backend
+loses its edge over the scalar trace path.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+
+from conftest import run_once
+
+from repro.problems.registry import build_default_registry
+from repro.sim.testbench import (
+    FunctionalPoint,
+    Testbench,
+    run_testbench,
+    run_testbenches,
+)
+from repro.toolchain.compiler import ChiselCompiler
+from repro.verilog.parser import parse_verilog
+
+POINTS = 4096
+ROUNDS = 10
+MIN_DEEP_VERIFY_SPEEDUP = 3.0
+MIN_LOCKSTEP_MULTIPLE = 1.1
+
+REGISTRY = build_default_registry()
+PROBLEM = REGISTRY.by_id("alu_w8")
+COMPILER = ChiselCompiler(top="TopModule")
+
+_rng = random.Random(0)
+TESTBENCH = Testbench(
+    points=[
+        FunctionalPoint(
+            {port.verilog_name: _rng.getrandbits(port.width) for port in PROBLEM.inputs}
+        )
+        for _ in range(POINTS)
+    ],
+    reset_cycles=0,
+)
+
+SEQ_MODULE = parse_verilog(
+    "module m(input clock, input [7:0] d, output reg [7:0] q);\n"
+    "  always @(posedge clock) q <= d;\nendmodule\n"
+)[0]
+
+
+def _module(source: str):
+    result = COMPILER.compile(source)
+    assert result.success
+    return parse_verilog(result.verilog)[-1]
+
+
+def _candidate(index: int) -> str:
+    """A structurally distinct candidate: its own kernel, not the golden's."""
+    source = PROBLEM.golden_chisel
+    brace = source.rfind("}")
+    padding = f"  val pad{index} = Wire(UInt(4.W))\n  pad{index} := {index % 16}.U\n"
+    return source[:brace] + padding + source[brace:]
+
+
+def _median_rounds(round_fn) -> float:
+    times = []
+    for index in range(ROUNDS):
+        start = time.perf_counter()
+        round_fn(index)
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def test_vector_deep_verify_speedup(benchmark):
+    candidate = _module(_candidate(0))
+    golden = _module(PROBLEM.golden_chisel)
+    for backend in ("trace", "vector"):  # warm both kernel caches
+        assert run_testbench(candidate, golden, TESTBENCH, backend=backend).passed
+
+    trace_elapsed = _median_rounds(
+        lambda _i: run_testbench(candidate, golden, TESTBENCH, backend="trace")
+    )
+
+    def vector() -> float:
+        return _median_rounds(
+            lambda _i: run_testbench(candidate, golden, TESTBENCH, backend="vector")
+        )
+
+    vector_elapsed = run_once(benchmark, vector)
+    speedup = trace_elapsed / vector_elapsed
+    assert speedup >= MIN_DEEP_VERIFY_SPEEDUP, (
+        f"vector deep-verify speedup {speedup:.1f}x below {MIN_DEEP_VERIFY_SPEEDUP}x "
+        f"(trace {trace_elapsed * 1000:.1f} ms, vector {vector_elapsed * 1000:.1f} ms)"
+    )
+
+
+def test_vector_lockstep_16_candidates(benchmark):
+    benches = []
+    for seed in range(16):
+        rng = random.Random(seed)
+        benches.append(
+            Testbench(
+                points=[
+                    FunctionalPoint({"d": rng.getrandbits(8)}, clock_cycles=1)
+                    for _ in range(256)
+                ],
+                observed_outputs=["q"],
+                reset_cycles=2,
+            )
+        )
+    jobs = [(SEQ_MODULE, SEQ_MODULE, tb) for tb in benches]
+    serial = [run_testbench(*job, backend="trace") for job in jobs]  # warm kernels
+    assert run_testbenches(jobs, backend="vector") == serial
+
+    serial_elapsed = _median_rounds(
+        lambda _i: [run_testbench(*job, backend="trace") for job in jobs]
+    )
+
+    def lockstep() -> float:
+        return _median_rounds(lambda _i: run_testbenches(jobs, backend="vector"))
+
+    lockstep_elapsed = run_once(benchmark, lockstep)
+    multiple = serial_elapsed / lockstep_elapsed
+    assert multiple >= MIN_LOCKSTEP_MULTIPLE, (
+        f"lockstep multiple {multiple:.2f}x below {MIN_LOCKSTEP_MULTIPLE}x "
+        f"(serial {serial_elapsed * 1000:.1f} ms, lockstep {lockstep_elapsed * 1000:.1f} ms)"
+    )

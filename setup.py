@@ -1,4 +1,11 @@
 """Setup shim so editable installs work without network access (no wheel pkg)."""
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    # NumPy powers the vectorized simulation backend (repro.verilog.compile_vec);
+    # the toolchain degrades to the scalar trace/step-wise backends without it.
+    install_requires=["numpy"],
+)

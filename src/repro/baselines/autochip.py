@@ -16,7 +16,7 @@ from repro.core.session import LLMCall, Session, ToolCall, drive
 from repro.llm.client import ChatClient
 from repro.problems.base import Problem
 from repro.sim.testbench import Testbench
-from repro.toolchain.simulator import Simulator
+from repro.toolchain.simulator import SimulateRequest, Simulator
 from repro.verilog.parser import VerilogParseError, parse_verilog
 
 
@@ -97,9 +97,8 @@ class AutoChip:
         error = yield ToolCall(lambda: _parse_error(code), "parse")
         if error is not None:
             return "syntax", f"Verilog compilation failed: {error}"
-        outcome = yield ToolCall(
-            lambda: self.simulator.simulate(code, reference_verilog, testbench), "simulate"
-        )
+        request = SimulateRequest(self.simulator, code, reference_verilog, testbench)
+        outcome = yield ToolCall(request.run, "simulate", batch=request)
         if outcome.success:
             return "success", "all tests passed"
         return "functional", outcome.render_feedback()

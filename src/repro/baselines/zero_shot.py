@@ -13,7 +13,7 @@ from repro.core.session import LLMCall, Session, ToolCall, drive
 from repro.llm.client import ChatClient
 from repro.problems.base import Problem
 from repro.toolchain.compiler import ChiselCompiler
-from repro.toolchain.simulator import Simulator
+from repro.toolchain.simulator import SimulateRequest, Simulator
 from repro.verilog.parser import VerilogParseError, parse_verilog
 
 
@@ -67,9 +67,8 @@ class ZeroShotRunner:
                 return ZeroShotOutcome(False, "syntax", code)
             dut_verilog = code
 
-        outcome = yield ToolCall(
-            lambda: self.simulator.simulate(dut_verilog, reference_verilog, testbench), "simulate"
-        )
+        request = SimulateRequest(self.simulator, dut_verilog, reference_verilog, testbench)
+        outcome = yield ToolCall(request.run, "simulate", batch=request)
         if outcome.success:
             return ZeroShotOutcome(True, "success", code)
         return ZeroShotOutcome(False, "functional", code)

@@ -2,7 +2,8 @@
 
 Every memoization layer in the toolchain — Chisel parsing and per-module
 elaboration, the FIRRTL pass pipeline, Verilog emission and parsing, compiled
-simulation kernels and trace-compiled testbenches — shares :class:`LruCache`
+simulation kernels, trace-compiled testbenches and vectorized NumPy kernels
+(``sim_vec`` / ``sim_vec_kernel``) — shares :class:`LruCache`
 so the eviction policy and hit/miss accounting live in one place.  Caches
 constructed with a ``name`` self-register in a process-wide registry;
 :func:`cache_stats` aggregates hits/misses/size per name (summing across

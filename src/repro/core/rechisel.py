@@ -27,7 +27,7 @@ from repro.core.trace import Trace
 from repro.llm.client import ChatClient
 from repro.sim.testbench import DeviceUnderTest, Testbench
 from repro.toolchain.compiler import ChiselCompiler
-from repro.toolchain.simulator import Simulator
+from repro.toolchain.simulator import SimulateRequest, Simulator
 from repro.verilog.vast import VModule
 
 
@@ -221,10 +221,8 @@ class ReChisel:
         compile_result = yield ToolCall(lambda: self.compiler.compile(code), "compile")
         if not compile_result.success:
             return feedback_from_compile(compile_result), None
-        outcome = yield ToolCall(
-            lambda: self.simulator.simulate(compile_result.verilog or "", reference, testbench),
-            "simulate",
-        )
+        request = SimulateRequest(self.simulator, compile_result.verilog or "", reference, testbench)
+        outcome = yield ToolCall(request.run, "simulate", batch=request)
         if outcome.success:
             return success_feedback(), compile_result.verilog
         return feedback_from_simulation(outcome), compile_result.verilog

@@ -51,10 +51,17 @@ class ToolCall:
     cache warming, so it can run inline, in a thread, or be retried without
     changing the session's result.  ``purpose`` labels the tool ("compile",
     "simulate", "parse", "reference") for telemetry.
+
+    ``batch`` optionally carries a declarative, batchable form of the same
+    computation (e.g. a :class:`repro.toolchain.simulator.SimulateRequest`).
+    Drivers that coalesce work from many sessions execute batches together;
+    everyone else ignores it and calls ``run()``.  When ``batch`` is set, its
+    ``run()`` must produce the same result as ``fn()``.
     """
 
     fn: Callable[[], object]
     purpose: str = "compile"
+    batch: object | None = None
 
     def run(self) -> object:
         return self.fn()

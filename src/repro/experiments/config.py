@@ -11,6 +11,7 @@ FULL_EVAL_ENV = "REPRO_FULL_EVAL"
 JOBS_ENV = "REPRO_JOBS"
 RESULT_STORE_ENV = "REPRO_RESULT_STORE"
 FLEET_ENV = "REPRO_FLEET"
+LOCKSTEP_ENV = "REPRO_LOCKSTEP"
 
 _DISABLED_STORE_VALUES = ("", "0", "off", "no", "none", "false")
 
@@ -31,7 +32,12 @@ class ExperimentConfig:
     bit-identical either way.  ``fleet`` (``REPRO_FLEET=1``) upgrades the
     parallel path to the supervised :mod:`repro.fleet` — warm restartable
     workers with crash detection, lease re-queueing and graceful degradation
-    — still bit-identical.  ``store_path`` points the engine at a persistent
+    — still bit-identical.  ``lockstep`` (``REPRO_LOCKSTEP=1``) swaps the
+    serial executor for the in-process
+    :class:`~repro.experiments.executors.LockstepExecutor`, which drives all
+    unit sessions together and coalesces their simulate calls into vectorized
+    batches (bit-identical again; ignored when ``jobs > 1``).  ``store_path``
+    points the engine at a persistent
     segmented result store (``REPRO_RESULT_STORE``) so repeated and
     overlapping sweeps reuse completed work units and interrupted runs
     resume; ``None`` disables persistence (in-process memoization across
@@ -47,6 +53,7 @@ class ExperimentConfig:
     jobs: int = 1
     store_path: str | None = None
     fleet: bool = False
+    lockstep: bool = False
 
     @classmethod
     def paper_scale(cls) -> "ExperimentConfig":
@@ -77,4 +84,6 @@ class ExperimentConfig:
             config = replace(config, store_path=store_raw)
         if os.environ.get(FLEET_ENV, "").strip().lower() in ("1", "true", "yes", "on"):
             config = replace(config, fleet=True)
+        if os.environ.get(LOCKSTEP_ENV, "").strip().lower() in ("1", "true", "yes", "on"):
+            config = replace(config, lockstep=True)
         return config

@@ -13,6 +13,9 @@ toolchain:
   as a functional mismatch report);
 * the trace-compiled testbench backend must reproduce the step-wise report
   exactly;
+* the vectorized NumPy backend (``backend="vector"``, both the single-run
+  and the batched :func:`~repro.sim.testbench.run_testbenches` paths) must
+  also reproduce it bit for bit on vector-eligible designs;
 * a warm run (stage caches populated by every previously checked program —
   the state in which cache-key collisions bite) must equal a cold run from
   cleared caches, both for the emitted Verilog and for every simulation
@@ -41,10 +44,12 @@ from repro.sim.testbench import (
     VerilogDevice,
     _trace_plan,
     run_testbench,
+    run_testbenches,
 )
 from repro.toolchain.compiler import ChiselCompiler
 from repro.verilog import compile_sim
 from repro.verilog.compile_sim import clear_kernel_cache, get_kernel, get_trace_kernel
+from repro.verilog.compile_vec import get_vec_kernel
 from repro.verilog.parser import VerilogParseError, parse_verilog
 from repro.verilog.simulator import Simulation
 from repro.verilog.vast import VModule
@@ -85,6 +90,7 @@ class ConformanceReport:
     checks: int = 0
     trace_eligible: bool = True
     compiled_eligible: bool = True
+    vector_eligible: bool = True
 
     @property
     def ok(self) -> bool:
@@ -192,6 +198,38 @@ def _run_backends(
     schedule, _ = _trace_plan(testbench, observed)
     if get_trace_kernel(module, schedule) is None:
         report.trace_eligible = False
+
+    if get_vec_kernel(module, schedule) is None:
+        # Wide-context designs (>64-bit lanes) and NumPy-less environments
+        # fall back by design; eligibility is reported, not a failure.
+        report.vector_eligible = False
+    else:
+        vector = run_testbench(module, module, testbench, backend="vector")
+        runs["vector"] = vector
+        report.checks += 1
+        if vector != stepwise:
+            report.failures.append(
+                ConformanceFailure(
+                    "backend",
+                    "vector",
+                    top,
+                    f"vector report diverges from step-wise: {vector.render()}",
+                )
+            )
+        batched = run_testbenches(
+            [(module, module, testbench), (module, module, testbench)], backend="vector"
+        )
+        runs["vector_batched"] = batched[0]
+        report.checks += 1
+        if batched[0] != stepwise or batched[1] != stepwise:
+            report.failures.append(
+                ConformanceFailure(
+                    "backend",
+                    "vector-batched",
+                    top,
+                    f"batched vector report diverges from step-wise: {batched[0].render()}",
+                )
+            )
     return runs
 
 

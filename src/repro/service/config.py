@@ -21,6 +21,8 @@ QUEUE_LIMIT_ENV = "REPRO_SERVICE_QUEUE_LIMIT"
 TOOL_WORKERS_ENV = "REPRO_SERVICE_TOOL_WORKERS"
 FLEET_WORKERS_ENV = "REPRO_SERVICE_FLEET_WORKERS"
 REQUEST_TIMEOUT_ENV = "REPRO_SERVICE_REQUEST_TIMEOUT"
+SIM_BATCH_WINDOW_ENV = "REPRO_SERVICE_SIM_BATCH_WINDOW"
+SIM_MAX_BATCH_ENV = "REPRO_SERVICE_SIM_MAX_BATCH"
 
 
 def _env_float(name: str) -> float | None:
@@ -65,6 +67,13 @@ class ServiceConfig:
     ``request_timeout`` bounds each LLM dispatch attempt in seconds
     (``None`` disables the bound); timed-out attempts are retried like
     transport errors and counted in ``DispatchStats.timeouts``.
+
+    ``sim_batch_window`` / ``sim_max_batch`` parameterize simulate-call
+    micro-batching: simulate tool steps from concurrent sessions collect for
+    up to ``sim_batch_window`` seconds (or until ``sim_max_batch`` are
+    pending) and run as one :meth:`Simulator.simulate_many` batch, which
+    coalesces structurally-identical candidates onto shared vector kernels.
+    ``sim_max_batch <= 1`` disables batching (each simulate runs alone).
     """
 
     max_in_flight: int = 32
@@ -79,6 +88,8 @@ class ServiceConfig:
     memo_size: int = 8192
     fleet_workers: int = 0
     request_timeout: float | None = None
+    sim_batch_window: float = 0.0
+    sim_max_batch: int = 16
 
     def __post_init__(self) -> None:
         if self.max_in_flight < 1:
@@ -91,6 +102,8 @@ class ServiceConfig:
             raise ValueError("fleet_workers must be >= 0")
         if self.request_timeout is not None and self.request_timeout <= 0:
             raise ValueError("request_timeout must be > 0 or None")
+        if self.sim_batch_window < 0:
+            raise ValueError("sim_batch_window must be >= 0")
 
     @classmethod
     def from_environment(cls) -> "ServiceConfig":
@@ -119,6 +132,12 @@ class ServiceConfig:
         request_timeout = _env_float(REQUEST_TIMEOUT_ENV)
         if request_timeout is not None:
             config.request_timeout = request_timeout if request_timeout > 0 else None
+        sim_batch_window = _env_float(SIM_BATCH_WINDOW_ENV)
+        if sim_batch_window is not None:
+            config.sim_batch_window = max(0.0, sim_batch_window)
+        sim_max_batch = _env_int(SIM_MAX_BATCH_ENV)
+        if sim_max_batch is not None:
+            config.sim_max_batch = sim_max_batch
         store_raw = os.environ.get(RESULT_STORE_ENV, "").strip()
         if store_raw.lower() not in _DISABLED_STORE_VALUES:
             config.store_path = store_raw

@@ -8,7 +8,10 @@ step-wise session (see :mod:`repro.core.session`) on one asyncio event loop:
   — concurrent sessions' requests coalesce into micro-batches under a token
   bucket, per-profile caps and jittered retry;
 * **tool steps** (compile / simulate / parse) are offloaded to a bounded
-  thread executor so the loop stays responsive for dispatch timers;
+  thread executor so the loop stays responsive for dispatch timers; simulate
+  steps additionally micro-batch through a :class:`_SimulationBatcher`
+  (``sim_batch_window`` / ``sim_max_batch``) so structurally-identical
+  candidates from concurrent sessions share vector-kernel lanes;
 * **scheduling** is fair FIFO: a bounded job queue feeds ``max_in_flight``
   worker tasks, and ``submit`` awaits whenever the queue is full
   (backpressure);
@@ -45,12 +48,105 @@ from repro.llm.dispatch import BatchingDispatcher, TokenBucket
 from repro.problems.registry import ProblemRegistry
 from repro.service.config import ServiceConfig
 from repro.service.telemetry import ServiceSnapshot, Telemetry
+from repro.toolchain.simulator import SimulateRequest
 
 
 def _consume_exception(future: asyncio.Future) -> None:
     """Mark a barrier future's exception retrieved even with no waiters."""
     if not future.cancelled():
         future.exception()
+
+
+class _SimulationBatcher:
+    """Micro-batch simulate tool calls from concurrent sessions.
+
+    Requests collect for up to ``window`` seconds (or until ``max_batch`` are
+    pending) and run as one :meth:`Simulator.simulate_many` call on the tool
+    executor, so structurally-identical candidates from different sessions
+    share vector-kernel lanes.  Bit-identity with per-call ``simulate`` is
+    guaranteed by ``run_testbenches``; if a batch fails wholesale, each
+    request is retried individually so one poisoned DUT can't fail its
+    batch-mates.
+    """
+
+    def __init__(self, loop, executor, telemetry: Telemetry, window: float, max_batch: int):
+        self._loop = loop
+        self._executor = executor
+        self._telemetry = telemetry
+        self._window = window
+        self._max_batch = max_batch
+        self._pending: list[tuple[SimulateRequest, asyncio.Future]] = []
+        self._timer: asyncio.TimerHandle | None = None
+
+    async def simulate(self, request: SimulateRequest):
+        future = self._loop.create_future()
+        self._pending.append((request, future))
+        if len(self._pending) >= self._max_batch:
+            self._flush()
+        elif self._timer is None:
+            self._timer = self._loop.call_later(self._window, self._flush)
+        return await future
+
+    def _flush(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        batch, self._pending = self._pending, []
+        if batch:
+            self._loop.create_task(self._run(batch))
+
+    async def _run(self, batch: list[tuple[SimulateRequest, asyncio.Future]]) -> None:
+        self._telemetry.record_sim_batch(len(batch))
+        try:
+            outcomes = await self._loop.run_in_executor(
+                self._executor, _SimulationBatcher._execute, [r for r, _ in batch]
+            )
+            for (_request, future), outcome in zip(batch, outcomes):
+                if not future.done():
+                    future.set_result(outcome)
+        except Exception:
+            # Degrade to per-request execution; individual failures then land
+            # on their own futures.
+            for request, future in batch:
+                if future.done():
+                    continue
+                try:
+                    outcome = await self._loop.run_in_executor(self._executor, request.run)
+                except Exception as exc:
+                    future.set_exception(exc)
+                else:
+                    future.set_result(outcome)
+
+    @staticmethod
+    def _execute(requests: list[SimulateRequest]):
+        """Group by simulator facade and run each group as one batch."""
+        outcomes: list[object | None] = [None] * len(requests)
+        by_sim: dict[int, list[int]] = {}
+        for index, request in enumerate(requests):
+            by_sim.setdefault(id(request.simulator), []).append(index)
+        for indices in by_sim.values():
+            simulator = requests[indices[0]].simulator
+            results = simulator.simulate_many(
+                [
+                    (requests[i].dut_verilog, requests[i].reference, requests[i].testbench)
+                    for i in indices
+                ]
+            )
+            for position, outcome in zip(indices, results):
+                outcomes[position] = outcome
+        return outcomes
+
+    def close(self) -> None:
+        """Fail anything still pending (service shutdown)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        batch, self._pending = self._pending, []
+        for _request, future in batch:
+            if not future.done():
+                future.set_exception(
+                    RuntimeError("generation service closed while a simulation was pending")
+                )
 
 
 class GenerationService:
@@ -101,6 +197,7 @@ class GenerationService:
         self._active: dict[int, asyncio.Future] = {}
         self._fleet = None  # FleetSupervisor when config.fleet_workers > 0
         self._fleet_health: dict = {}  # last health report, survives close()
+        self._sim_batcher: _SimulationBatcher | None = None
 
     # -------------------------------------------------------------- lifecycle
 
@@ -134,6 +231,10 @@ class GenerationService:
         self._tools = ThreadPoolExecutor(
             max_workers=config.tool_workers, thread_name_prefix="repro-svc-tool"
         )
+        if config.sim_max_batch > 1:
+            self._sim_batcher = _SimulationBatcher(
+                loop, self._tools, self.telemetry, config.sim_batch_window, config.sim_max_batch
+            )
         self._workers = [loop.create_task(self._worker()) for _ in range(config.max_in_flight)]
         return self
 
@@ -158,6 +259,9 @@ class GenerationService:
             self._fleet_health = self._fleet.health()
             self._fleet.close()
             self._fleet = None
+        if self._sim_batcher is not None:
+            self._sim_batcher.close()
+            self._sim_batcher = None
         if self._tools is not None:
             self._tools.shutdown(wait=True)
             self._tools = None
@@ -313,6 +417,10 @@ class GenerationService:
                     value = await self.dispatcher.complete(
                         step.messages, client=client, profile=profile
                     )
+                elif self._sim_batcher is not None and isinstance(
+                    getattr(step, "batch", None), SimulateRequest
+                ):
+                    value = await self._sim_batcher.simulate(step.batch)
                 else:
                     value = await loop.run_in_executor(self._tools, step.run)
                 step = session.send(value)

@@ -47,6 +47,10 @@ class ServiceSnapshot:
     # Worker-health report from the generation fleet's supervisor
     # (FleetSupervisor.health()); empty when the service runs in-process.
     fleet: dict = field(default_factory=dict)
+    # Simulate-call micro-batching (0 everywhere when sim_max_batch <= 1).
+    sim_batches: int = 0
+    sim_batched_requests: int = 0
+    max_sim_batch: int = 0
 
     @property
     def cache_hits(self) -> int:
@@ -66,6 +70,13 @@ class ServiceSnapshot:
             f"tool calls       {self.tool_calls}",
             f"session latency  p50 {self.p50_latency * 1000:.1f} ms / p95 {self.p95_latency * 1000:.1f} ms",
         ]
+        if self.sim_batches:
+            mean = self.sim_batched_requests / self.sim_batches
+            lines.append(
+                "sim batches      "
+                f"{self.sim_batched_requests} simulations in {self.sim_batches} batches "
+                f"(mean {mean:.1f}, max {self.max_sim_batch})"
+            )
         if self.dispatcher:
             lines.append(
                 "dispatch         "
@@ -107,8 +118,16 @@ class Telemetry:
         self.store_hits = 0
         self.coalesced_hits = 0
         self.in_flight = 0
+        self.sim_batches = 0
+        self.sim_batched_requests = 0
+        self.max_sim_batch = 0
         self.steps = StepCounts()
         self._latencies: deque[float] = deque(maxlen=latency_window)
+
+    def record_sim_batch(self, size: int) -> None:
+        self.sim_batches += 1
+        self.sim_batched_requests += size
+        self.max_sim_batch = max(self.max_sim_batch, size)
 
     def record_latency(self, seconds: float) -> None:
         self._latencies.append(seconds)
@@ -136,4 +155,7 @@ class Telemetry:
             dispatcher=dict(dispatcher_stats or {}),
             caches=cache_stats(),
             fleet=dict(fleet_health or {}),
+            sim_batches=self.sim_batches,
+            sim_batched_requests=self.sim_batched_requests,
+            max_sim_batch=self.max_sim_batch,
         )

@@ -1,6 +1,6 @@
 """Testbench execution: drive stimuli into DUT and reference, compare outputs.
 
-Two backends produce bit-identical :class:`SimulationReport`s:
+Three backends produce bit-identical :class:`SimulationReport`s:
 
 * the **trace** backend compiles the whole stimulus schedule into one
   generated closure per (module, testbench shape) pair
@@ -8,36 +8,53 @@ Two backends produce bit-identical :class:`SimulationReport`s:
   preprocessed once into a flat array, the reset/drive/settle/tick sequence is
   unrolled, and all sampled outputs come back in a single call — no per-point
   dict or attribute dispatch;
+* the **vector** backend
+  (:func:`repro.verilog.compile_vec.get_vec_kernel`) goes one step further:
+  NumPy structure-of-arrays kernels with one ``uint64`` lane per execution,
+  evaluating every stimulus point of a combinational testbench — and, through
+  :func:`run_testbenches`, every structurally identical candidate of a batch
+  in lockstep — in one kernel call.  Ineligible pairings (>64-bit contexts,
+  missing NumPy) silently fall back to trace/step-wise;
 * the **step-wise** backend drives both devices point by point through the
   :class:`DeviceUnderTest` interface.  It is the semantic oracle, the only
   path for behavioural references and interpreter-fallback modules, and the
   path that reproduces runtime :class:`SimulationError` reports exactly.
 
 Backend selection: ``run_testbench(..., backend=...)`` accepts ``"auto"``
-(trace when both devices are eligible — the default), ``"trace"`` (prefer the
-trace path, silently step-wise when the pairing is ineligible) and
-``"stepwise"``; the environment variable ``REPRO_TB_BACKEND`` overrides the
-default for ``"auto"`` callers.  Forcing the backend through the
-*environment* is stricter than the argument: ``REPRO_TB_BACKEND=trace``
-raises :class:`~repro.verilog.simulator.SimulationError` when the pairing
-cannot trace (behavioural reference, interpreter-only module, oversized
-schedule) instead of silently falling back — a global forcing knob that
-degrades quietly would invalidate whatever measurement or verification the
-caller forced it for.  ``REPRO_SIM_BACKEND=interpreter`` also disables the
-trace path under ``"auto"``, since tracing executes compiled kernels.
+(trace when both devices are eligible — the default), ``"trace"`` /
+``"vector"`` (prefer that path, silently falling back when the pairing is
+ineligible) and ``"stepwise"``; the environment variable ``REPRO_TB_BACKEND``
+overrides the default for ``"auto"`` callers.  Forcing the backend through the
+*environment* is stricter than the argument: ``REPRO_TB_BACKEND=trace`` (or
+``=vector``) raises :class:`~repro.verilog.simulator.SimulationError` when the
+pairing cannot use the forced backend (behavioural reference,
+interpreter-only module, oversized schedule, >64-bit signals for vector)
+instead of silently falling back — a global forcing knob that degrades
+quietly would invalidate whatever measurement or verification the caller
+forced it for.  ``REPRO_SIM_BACKEND=interpreter`` also disables the trace and
+vector paths under ``"auto"``, since both execute compiled kernels.
+
+:func:`run_testbenches` is the batched entry point: jobs whose modules share a
+structural fingerprint and testbench shape coalesce into one vector-kernel
+call (duplicate (candidate, stimulus) rows collapse to a single lane), with
+``REPRO_SIM_MAX_LANES`` bounding the lanes per call.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 from repro.verilog.compile_sim import TraceSchedule, get_trace_kernel
+from repro.verilog.compile_vec import VecTraceKernel, get_vec_kernel
 from repro.verilog.simulator import Simulation, SimulationError
 from repro.verilog.vast import VModule
 
 _TB_BACKEND_ENV = "REPRO_TB_BACKEND"
-_TB_BACKENDS = ("auto", "trace", "stepwise")
+_TB_BACKENDS = ("auto", "trace", "stepwise", "vector")
+_MAX_LANES_ENV = "REPRO_SIM_MAX_LANES"
+_DEFAULT_MAX_LANES = 65536
 
 
 @dataclass(frozen=True)
@@ -224,24 +241,17 @@ def _trace_plan(testbench: Testbench, observed: tuple[str, ...]):
     return plan
 
 
-def _run_testbench_trace(
-    dut: VModule, reference: VModule, testbench: Testbench
-) -> SimulationReport | None:
-    """Trace-compiled run; ``None`` when the pairing needs the step-wise path."""
-    observed = testbench.observed_outputs
-    if observed is None:
-        observed = [port.name for port in reference.outputs()]
-    schedule, stimulus = _trace_plan(testbench, tuple(observed))
-    dut_kernel = get_trace_kernel(dut, schedule)
-    if dut_kernel is None:
-        return None
-    ref_kernel = get_trace_kernel(reference, schedule)
-    if ref_kernel is None:
-        return None
+def _compare_outputs(
+    testbench: Testbench,
+    observed: Sequence[str],
+    dut_out: Sequence[int],
+    ref_out: Sequence[int],
+) -> SimulationReport:
+    """Build the report from two flat sampled-output arrays (point-major order).
 
-    dut_out = dut_kernel.run(stimulus)
-    ref_out = ref_kernel.run(stimulus)
-
+    Shared by the trace and vector backends so mismatch ordering and
+    ``max_mismatches`` capping are identical by construction.
+    """
     report = SimulationReport(total_points=len(testbench.points))
     cursor = 0
     width = len(observed)
@@ -265,6 +275,210 @@ def _run_testbench_trace(
     return report
 
 
+def _run_testbench_trace(
+    dut: VModule, reference: VModule, testbench: Testbench
+) -> SimulationReport | None:
+    """Trace-compiled run; ``None`` when the pairing needs the step-wise path."""
+    observed = testbench.observed_outputs
+    if observed is None:
+        observed = [port.name for port in reference.outputs()]
+    schedule, stimulus = _trace_plan(testbench, tuple(observed))
+    dut_kernel = get_trace_kernel(dut, schedule)
+    if dut_kernel is None:
+        return None
+    ref_kernel = get_trace_kernel(reference, schedule)
+    if ref_kernel is None:
+        return None
+
+    dut_out = dut_kernel.run(stimulus)
+    ref_out = ref_kernel.run(stimulus)
+    return _compare_outputs(testbench, observed, dut_out, ref_out)
+
+
+def _compare_vec_outputs(
+    testbench: Testbench,
+    observed: Sequence[str],
+    dut_out,
+    ref_out,
+) -> SimulationReport:
+    """:func:`_compare_outputs` over uint64 sample arrays, fast-pathed.
+
+    Matching arrays (the overwhelmingly common case for a passing candidate,
+    and always the case for shared DUT/reference lanes) skip the per-point
+    Python loop entirely — with no mismatches the loop can only count checked
+    points, which is computed directly.  Divergent arrays take the shared
+    slow path so mismatch ordering and capping stay identical by construction.
+    """
+    if dut_out is ref_out or bool((dut_out == ref_out).all()):
+        report = SimulationReport(total_points=len(testbench.points))
+        report.checked_points = sum(1 for point in testbench.points if point.check)
+        return report
+    return _compare_outputs(testbench, observed, dut_out.tolist(), ref_out.tolist())
+
+
+def _packed_stimulus(testbench: Testbench, kernel: VecTraceKernel, stimulus: tuple):
+    """The kernel-ready stimulus matrix, memoized on the testbench.
+
+    Keyed by (fingerprint, digest) — repair iterations re-verify revised
+    candidates against the same testbench, so the masked uint64 packing of an
+    unchanged stimulus program is reused across calls.
+    """
+    packs = testbench.__dict__.setdefault("_vec_packs", {})
+    key = (kernel.fingerprint, kernel.digest)
+    packed = packs.get(key)
+    if packed is None:
+        packed = packs[key] = kernel.pack([stimulus])
+    return packed
+
+
+def _run_testbench_vector(
+    dut: VModule, reference: VModule, testbench: Testbench
+) -> SimulationReport | None:
+    """Vector-kernel run; ``None`` when the pairing needs a scalar backend."""
+    observed = testbench.observed_outputs
+    if observed is None:
+        observed = [port.name for port in reference.outputs()]
+    schedule, stimulus = _trace_plan(testbench, tuple(observed))
+    dut_kernel = get_vec_kernel(dut, schedule)
+    if dut_kernel is None:
+        return None
+    ref_kernel = get_vec_kernel(reference, schedule)
+    if ref_kernel is None:
+        return None
+    if ref_kernel is dut_kernel:
+        # Structurally identical DUT and reference (same fingerprint hits the
+        # same cached kernel): one set of lanes serves both sides.
+        dut_out = ref_out = dut_kernel.run(_packed_stimulus(testbench, dut_kernel, stimulus))[0]
+    else:
+        dut_out = dut_kernel.run(_packed_stimulus(testbench, dut_kernel, stimulus))[0]
+        ref_out = ref_kernel.run(_packed_stimulus(testbench, ref_kernel, stimulus))[0]
+    return _compare_vec_outputs(testbench, observed, dut_out, ref_out)
+
+
+def _max_lanes() -> int:
+    raw = os.environ.get(_MAX_LANES_ENV, "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise SimulationError(
+                f"{_MAX_LANES_ENV} must be an integer, got {raw!r}"
+            ) from None
+        if value > 0:
+            return value
+    return _DEFAULT_MAX_LANES
+
+
+def _run_vec_group(kernel: VecTraceKernel, rows: list[tuple]) -> list:
+    """Run one kernel's deduplicated stimulus rows, chunked by the lane budget."""
+    rows_per_chunk = max(1, _max_lanes() // max(1, kernel.lanes_per_row))
+    outputs: list = []
+    for start in range(0, len(rows), rows_per_chunk):
+        matrix = kernel.run(rows[start : start + rows_per_chunk])
+        outputs.extend(matrix[i] for i in range(matrix.shape[0]))
+    return outputs
+
+
+def run_testbenches(
+    jobs: Iterable[tuple[DeviceUnderTest | VModule, DeviceUnderTest | VModule, Testbench]],
+    backend: str | None = None,
+) -> list[SimulationReport]:
+    """Run many ``(dut, reference, testbench)`` jobs, coalescing same-shape work.
+
+    Jobs whose modules share a structural fingerprint and testbench shape are
+    grouped onto one vector kernel and simulated as a single lockstep batch;
+    duplicate (module, stimulus) rows — N samples that produced the same
+    candidate, or the shared golden reference — collapse to one lane.  Reports
+    come back in job order and are bit-identical to per-job
+    :func:`run_testbench` results.
+
+    Under ``backend=None``/``"auto"``, a lone sequential job (nothing to
+    batch with) keeps the scalar trace path, which is faster at one lane;
+    ``backend="vector"`` or ``REPRO_TB_BACKEND=vector`` forces vector
+    execution, the latter strictly (ineligible jobs raise).  Ineligible or
+    non-batchable jobs fall back to :func:`run_testbench` individually.
+    ``REPRO_SIM_MAX_LANES`` caps the lanes evaluated per kernel call; larger
+    batches are split into ragged chunks transparently.
+    """
+    jobs = list(jobs)
+    env_backend = os.environ.get(_TB_BACKEND_ENV)
+    resolved = backend if backend is not None else env_backend or "auto"
+    if resolved not in _TB_BACKENDS:
+        raise SimulationError(
+            f"unknown testbench backend {resolved!r}; expected one of {_TB_BACKENDS}"
+        )
+    use_vector = resolved in ("auto", "vector")
+    if resolved == "auto" and os.environ.get("REPRO_SIM_BACKEND") == "interpreter":
+        use_vector = False
+    if backend is None:
+        fallback_backend = None  # env semantics (incl. strictness) apply per job
+    elif resolved == "vector":
+        fallback_backend = "auto"
+    else:
+        fallback_backend = backend
+
+    reports: list[SimulationReport | None] = [None] * len(jobs)
+    # Per-kernel groups: id(kernel) -> (kernel, rows, {stimulus: row index}).
+    groups: dict[int, tuple[VecTraceKernel, list[tuple], dict[tuple, int]]] = {}
+    kernel_jobs: dict[int, int] = {}
+    staged: list = []  # (job index, testbench, observed, dut handle, ref handle)
+
+    def enlist(kernel: VecTraceKernel, stimulus: tuple) -> tuple[int, int]:
+        key = id(kernel)
+        group = groups.get(key)
+        if group is None:
+            group = groups[key] = (kernel, [], {})
+        _kernel, rows, row_index = group
+        row = row_index.get(stimulus)
+        if row is None:
+            row = row_index[stimulus] = len(rows)
+            rows.append(stimulus)
+        return key, row
+
+    eligible: list = []  # (job index, testbench, observed, stimulus, dut_k, ref_k)
+    for index, (dut, reference, testbench) in enumerate(jobs):
+        plan = None
+        if use_vector and isinstance(dut, VModule) and isinstance(reference, VModule):
+            observed = testbench.observed_outputs
+            if observed is None:
+                observed = [port.name for port in reference.outputs()]
+            schedule, stimulus = _trace_plan(testbench, tuple(observed))
+            dut_kernel = get_vec_kernel(dut, schedule)
+            ref_kernel = (
+                get_vec_kernel(reference, schedule) if dut_kernel is not None else None
+            )
+            if dut_kernel is not None and ref_kernel is not None:
+                plan = (index, testbench, observed, stimulus, dut_kernel, ref_kernel)
+        if plan is None:
+            reports[index] = run_testbench(dut, reference, testbench, fallback_backend)
+        else:
+            eligible.append(plan)
+            kernel_jobs[id(plan[4])] = kernel_jobs.get(id(plan[4]), 0) + 1
+            kernel_jobs[id(plan[5])] = kernel_jobs.get(id(plan[5]), 0) + 1
+
+    for index, testbench, observed, stimulus, dut_kernel, ref_kernel in eligible:
+        if resolved == "auto":
+            # A lone lockstep job has nothing to batch with; the scalar trace
+            # is faster at one lane.  Point-lane kernels win even solo.
+            def worthwhile(kernel: VecTraceKernel) -> bool:
+                return kernel.mode == "points" or kernel_jobs[id(kernel)] > 1
+
+            if not (worthwhile(dut_kernel) and worthwhile(ref_kernel)):
+                dut, reference, _tb = jobs[index]
+                reports[index] = run_testbench(dut, reference, testbench, "auto")
+                continue
+        staged.append(
+            (index, testbench, observed, enlist(dut_kernel, stimulus), enlist(ref_kernel, stimulus))
+        )
+
+    results = {key: _run_vec_group(kernel, rows) for key, (kernel, rows, _) in groups.items()}
+    for index, testbench, observed, (dut_key, dut_row), (ref_key, ref_row) in staged:
+        reports[index] = _compare_vec_outputs(
+            testbench, observed, results[dut_key][dut_row], results[ref_key][ref_row]
+        )
+    return reports
+
+
 def run_testbench(
     dut: DeviceUnderTest | VModule,
     reference: DeviceUnderTest | VModule,
@@ -278,11 +492,34 @@ def run_testbench(
         raise SimulationError(
             f"unknown testbench backend {resolved!r}; expected one of {_TB_BACKENDS}"
         )
-    # Env-forced trace is strict: a silent step-wise fallback would quietly
+    # Env-forced trace/vector is strict: a silent fallback would quietly
     # invalidate the forcing, so ineligible pairings fail loudly instead.
     strict_trace = backend is None and env_backend == "trace"
+    strict_vector = backend is None and env_backend == "vector"
     if resolved == "auto" and os.environ.get("REPRO_SIM_BACKEND") == "interpreter":
         resolved = "stepwise"  # honour the forced-interpreter knob
+    if resolved == "vector":
+        if isinstance(dut, VModule) and isinstance(reference, VModule):
+            report = _run_testbench_vector(dut, reference, testbench)
+            if report is not None:
+                return report
+            if strict_vector:
+                raise SimulationError(
+                    f"{_TB_BACKEND_ENV}=vector was forced, but the pairing of "
+                    f"modules {dut.name!r} and {reference.name!r} is not "
+                    "vector-eligible (NumPy unavailable, >64-bit signals, "
+                    "interpreter-only module, port mismatch, or oversized "
+                    "schedule); unset the variable or use backend='auto' to "
+                    "allow the scalar fallbacks"
+                )
+        elif strict_vector:
+            devices = ", ".join(type(device).__name__ for device in (dut, reference))
+            raise SimulationError(
+                f"{_TB_BACKEND_ENV}=vector was forced, but the vector backend "
+                f"requires parsed Verilog modules on both sides (got {devices}); "
+                "behavioural references always run step-wise"
+            )
+        resolved = "auto"  # argument semantics: fall back to trace, then step-wise
     if (
         resolved in ("auto", "trace")
         and isinstance(dut, VModule)

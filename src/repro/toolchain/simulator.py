@@ -11,7 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.caching import LruCache, text_key
-from repro.sim.testbench import DeviceUnderTest, SimulationReport, Testbench, run_testbench
+from repro.sim.testbench import (
+    DeviceUnderTest,
+    SimulationReport,
+    Testbench,
+    run_testbench,
+    run_testbenches,
+)
 from repro.verilog.parser import VerilogParseError, parse_verilog
 from repro.verilog.vast import VModule
 
@@ -46,6 +52,25 @@ class SimulationOutcome:
         return self.report.render()
 
 
+@dataclass(frozen=True)
+class SimulateRequest:
+    """A deferred :meth:`Simulator.simulate` call.
+
+    Attached to a simulate :class:`~repro.core.session.ToolCall` as its
+    ``batch`` payload so executors and the service can coalesce requests from
+    many concurrent sessions into one :meth:`Simulator.simulate_many` batch.
+    ``run()`` is the sequential equivalent used when nothing batches.
+    """
+
+    simulator: "Simulator"
+    dut_verilog: str
+    reference: object
+    testbench: Testbench
+
+    def run(self) -> SimulationOutcome:
+        return self.simulator.simulate(self.dut_verilog, self.reference, self.testbench)
+
+
 class Simulator:
     """Functional simulation of a DUT Verilog module against a reference.
 
@@ -63,6 +88,40 @@ class Simulator:
         reference: VModule | str | DeviceUnderTest,
         testbench: Testbench,
     ) -> SimulationOutcome:
+        prepared = self._prepare(dut_verilog, reference)
+        if isinstance(prepared, SimulationOutcome):
+            return prepared
+        dut_module, reference = prepared
+        report = run_testbench(dut_module, reference, testbench)
+        return SimulationOutcome(report.passed, report=report)
+
+    def simulate_many(
+        self,
+        items: list[tuple[str, VModule | str | DeviceUnderTest, Testbench]],
+    ) -> list[SimulationOutcome]:
+        """Batched :meth:`simulate`: coalesce same-shape runs into vector lanes.
+
+        Outcome ``i`` equals ``simulate(*items[i])`` bit for bit; parse errors
+        become per-item error outcomes while the remaining items still batch.
+        """
+        outcomes: list[SimulationOutcome | None] = [None] * len(items)
+        jobs: list[tuple[VModule, DeviceUnderTest | VModule, Testbench]] = []
+        positions: list[int] = []
+        for index, (dut_verilog, reference, testbench) in enumerate(items):
+            prepared = self._prepare(dut_verilog, reference)
+            if isinstance(prepared, SimulationOutcome):
+                outcomes[index] = prepared
+            else:
+                jobs.append((prepared[0], prepared[1], testbench))
+                positions.append(index)
+        for index, report in zip(positions, run_testbenches(jobs)):
+            outcomes[index] = SimulationOutcome(report.passed, report=report)
+        return outcomes
+
+    def _prepare(
+        self, dut_verilog: str, reference: VModule | str | DeviceUnderTest
+    ) -> tuple[VModule, DeviceUnderTest | VModule] | SimulationOutcome:
+        """Parse/select the DUT (and a textual reference); errors become outcomes."""
         try:
             dut_module = self._select_module(_parse_cached(dut_verilog))
         except VerilogParseError as exc:
@@ -76,8 +135,7 @@ class Simulator:
             except VerilogParseError as exc:
                 return SimulationOutcome(False, error=f"reference Verilog could not be parsed: {exc}")
 
-        report = run_testbench(dut_module, reference, testbench)
-        return SimulationOutcome(report.passed, report=report)
+        return dut_module, reference
 
     def _select_module(self, modules: list[VModule]) -> VModule:
         if not modules:

@@ -559,7 +559,7 @@ _TRACE_LINE_BUDGET = 60_000
 
 
 class _TraceGen:
-    def __init__(self, kernel: KernelTemplate, schedule: TraceSchedule, has_edge: bool):
+    def __init__(self, kernel, schedule: TraceSchedule, has_edge: bool):
         self.kernel = kernel
         self.schedule = schedule
         self.has_edge = has_edge
@@ -572,6 +572,10 @@ class _TraceGen:
                 "generated-code budget"
             )
         self.lines.append("    " * indent + text)
+
+    def drive_code(self, meta: SignalMeta, index_code: str) -> str:
+        """One stimulus drive; the vector backend overrides the array layout."""
+        return f"s[{meta.slot}] = stim[{index_code}] & {meta.mask}"
 
     def point_body(
         self,
@@ -597,8 +601,7 @@ class _TraceGen:
         slots = self.kernel.slots
         lines: list[str] = []
         for position, name in enumerate(names):
-            meta = slots[name]
-            lines.append(f"s[{meta.slot}] = stim[{stim_index(position)}] & {meta.mask}")
+            lines.append(self.drive_code(slots[name], stim_index(position)))
         if names:
             needs_settle = True
         for _ in range(cycles):
@@ -623,19 +626,15 @@ class _TraceGen:
         return lines, needs_settle
 
 
-def compile_trace(
-    module: vast.VModule, schedule: TraceSchedule, kernel: KernelTemplate | None = None
-) -> TraceKernel:
-    """Compile the whole ``schedule`` against ``module`` into one closure.
+def check_schedule_ports(module: vast.VModule, schedule: TraceSchedule) -> set[str]:
+    """Validate the schedule's port references; returns the module's port names.
 
     Raises :class:`AnalysisError` when the step-wise path could raise a
     runtime :class:`SimulationError` for this pairing (missing input/clock/
     observed port): those runs must keep their exact step-wise error report,
-    so the caller falls back.
+    so the caller falls back.  Shared by the scalar and vector trace codegens.
     """
-    kernel = kernel if kernel is not None else compile_kernel(module)
     ports = {port.name for port in module.ports}
-
     for names, cycles, _check in schedule.points:
         for name in names:
             if name not in ports:
@@ -651,9 +650,18 @@ def compile_trace(
             raise AnalysisError(
                 f"module {module.name} has no output port named {name!r}"
             )
+    return ports
 
-    edge = kernel.steps.get(schedule.clock)
-    gen = _TraceGen(kernel, schedule, has_edge=edge is not None)
+
+def emit_trace_body(gen: _TraceGen, ports: set[str]) -> None:
+    """Emit the full ``def trace(s, stim, ap)`` body for ``gen``'s schedule.
+
+    The reset preamble and point grouping are backend-independent; the stimulus
+    drive layout is supplied by ``gen.drive_code``, so the vector backend reuses
+    this emitter with array-shaped drives.
+    """
+    schedule = gen.schedule
+    kernel = gen.kernel
     gen.emit(0, "def trace(s, stim, ap):")
     # Simulation.__post_init__ settles the freshly-zeroed state once.
     gen.emit(1, "comb(s)")
@@ -666,7 +674,7 @@ def compile_trace(
         for _ in range(schedule.reset_cycles):
             if needs_settle:
                 gen.emit(1, "comb(s)")
-            if edge is not None:
+            if gen.has_edge:
                 gen.emit(1, "step(s)")
             needs_settle = True
         if needs_settle:
@@ -722,6 +730,21 @@ def compile_trace(
                 offset += len(names)
                 index += 1
     gen.emit(1, "return None")
+
+
+def compile_trace(
+    module: vast.VModule, schedule: TraceSchedule, kernel: KernelTemplate | None = None
+) -> TraceKernel:
+    """Compile the whole ``schedule`` against ``module`` into one closure.
+
+    Raises :class:`AnalysisError` on pairings whose step-wise run would raise
+    (missing ports): the caller falls back to reproduce that report verbatim.
+    """
+    kernel = kernel if kernel is not None else compile_kernel(module)
+    ports = check_schedule_ports(module, schedule)
+    edge = kernel.steps.get(schedule.clock)
+    gen = _TraceGen(kernel, schedule, has_edge=edge is not None)
+    emit_trace_body(gen, ports)
 
     source = "\n".join(gen.lines)
     namespace: dict[str, object] = {"comb": kernel.comb}
@@ -817,7 +840,9 @@ def get_trace_kernel(module: vast.VModule, schedule: TraceSchedule) -> TraceKern
 
 
 def kernel_cache_stats() -> dict[str, int]:
-    """Counters for both the per-module kernel and the trace-kernel caches."""
+    """Counters for the per-module kernel, trace-kernel and vector caches."""
+    from repro.verilog import compile_vec
+
     return dict(
         _cache.stats,
         fallbacks=_fallbacks[0],
@@ -825,11 +850,15 @@ def kernel_cache_stats() -> dict[str, int]:
         trace_hits=_trace_cache.stats["hits"],
         trace_misses=_trace_cache.stats["misses"],
         trace_size=len(_trace_cache),
+        **compile_vec.vec_cache_stats(),
     )
 
 
 def clear_kernel_cache() -> None:
-    """Empty the kernel *and* trace caches (benchmarks force cold runs here)."""
+    """Empty the kernel, trace *and* vector caches (benchmarks force cold runs)."""
+    from repro.verilog import compile_vec
+
     _cache.clear()
     _trace_cache.clear()
     _fallbacks[0] = 0
+    compile_vec.clear_vec_cache()

@@ -1,0 +1,960 @@
+"""Vectorized simulation backend: structure-of-arrays NumPy trace kernels.
+
+Where :mod:`repro.verilog.compile_sim` compiles a module into scalar Python
+closures over a flat ``list[int]`` and still pays a Python-level loop per
+stimulus point (and per candidate), this module emits NumPy code in which every
+signal is a width-masked ``uint64`` array with **one lane per execution**, so
+one kernel call covers many executions at once.  Two lane layouts:
+
+* **point lanes** (``mode == "points"``) — modules with no clocked block on the
+  schedule's clock are stateless between functional points, so every stimulus
+  point of every batched row becomes an independent lane: stimulus carry-over
+  (inputs keep their last driven value) is reproduced with a static
+  forward-fill gather, and the whole testbench settles in a *single*
+  combinational sweep;
+* **lockstep lanes** (``mode == "lockstep"``) — sequential modules keep the
+  scalar trace's time loop (points are time steps and cannot be reordered),
+  but each batched row — structurally identical candidates and/or repeated
+  stimulus programs that share one :func:`~repro.verilog.analysis.module_fingerprint`
+  and :class:`~repro.verilog.compile_sim.TraceSchedule` digest — is one lane,
+  so N candidates advance through the schedule in lockstep with N state
+  columns and per-step array ops.
+
+Bit-identity with the scalar backends is the contract: the generated code
+replays exactly the ``comb()``/``step()`` sequence the scalar trace performs,
+all arithmetic is carried out on masked unsigned 64-bit patterns (contexts
+wider than 64 bits raise :class:`AnalysisError` and fall back), and signed
+compare/divide/shift go through helpers that reinterpret the two's-complement
+patterns exactly as the scalar ``_sx`` sign-extension does.  ``uint64``
+wraparound is relied on deliberately for ``+``/``-``/``*`` (sign-extension is
+a no-op modulo 2**w); division, remainder and shift counts are routed through
+lane-safe helpers because NumPy's behaviour there (zero divisors, shifts
+>= 64) is undefined or raising where Verilog semantics are total.
+
+NumPy is optional: when it is missing, :func:`get_vec_kernel` returns ``None``
+and callers fall back to the scalar trace / step-wise backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+try:  # import-guarded: the toolchain must degrade gracefully without NumPy
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via monkeypatching in tests
+    np = None
+
+from repro.caching import LruCache
+from repro.hdl.bits import mask as _mask
+from repro.verilog import vast
+from repro.verilog.analysis import (
+    AnalysisError,
+    ModuleAnalysis,
+    SignalMeta,
+)
+from repro.verilog.compile_sim import (
+    TraceSchedule,
+    _blocking_targets,
+    _Store,
+    _sx,
+    _TraceGen,
+    check_schedule_ports,
+    emit_trace_body,
+    module_fingerprint,
+)
+
+__all__ = [
+    "HAVE_NUMPY",
+    "LANE_WIDTH",
+    "VecKernelTemplate",
+    "VecTraceKernel",
+    "compile_vec_kernel",
+    "compile_vec_trace",
+    "get_vec_kernel",
+    "vec_cache_stats",
+    "clear_vec_cache",
+]
+
+HAVE_NUMPY = np is not None
+
+#: Lanes are ``uint64``; any expression context wider than this falls back to
+#: the scalar backends (which use arbitrary-precision Python ints).
+LANE_WIDTH = 64
+
+
+# ---------------------------------------------------------------------------
+# Lane-safe runtime helpers (the generated code's vocabulary)
+# ---------------------------------------------------------------------------
+#
+# dtype discipline: every helper returns uint64 (or bool for predicates).
+# np.where with two weak Python-int operands promotes to int64 — which then
+# poisons uint64 arithmetic into float64 — so _sel/_b2u force uint64 on the
+# way out.  Shift counts >= 64 are undefined behaviour on uint64 operands, so
+# _shl/_shr/_sra clamp-and-select.  Zero divisors are replaced before the
+# NumPy op (which would raise) and the Verilog x/0 == x%0 == 0 result is
+# selected afterwards.
+
+if HAVE_NUMPY:
+    _U64 = np.uint64
+    _Z = np.uint64(0)
+    _ONE = np.uint64(1)
+    _SIXTY_FOUR = np.uint64(64)
+    _SIXTY_THREE = np.uint64(63)
+
+    def _u(x):
+        """Coerce a non-negative operand to a uint64 array/scalar."""
+        return np.asarray(x, dtype=_U64)
+
+    def _i64(x):
+        """Reinterpret a 64-bit two's-complement pattern as signed int64.
+
+        Accepts uint64 patterns *and* plain Python ints (sign-extension of a
+        literal produces a negative int); values always fit once wrapped.
+        """
+        a = np.asarray(x)
+        return a if a.dtype == np.int64 else a.astype(np.int64)
+
+    def _sel(c, t, f):
+        """Predicated select yielding uint64 (bare np.where promotes badly)."""
+        return np.where(c, np.asarray(t, dtype=_U64), np.asarray(f, dtype=_U64))
+
+    def _b2u(c):
+        """Bool predicate -> 0/1 as uint64."""
+        return np.where(c, _ONE, _Z)
+
+    def _shl(v, amt):
+        a = _u(amt)
+        big = a >= _SIXTY_FOUR
+        return np.where(big, _Z, _u(v) << np.where(big, _Z, a))
+
+    def _shr(v, amt):
+        a = _u(amt)
+        big = a >= _SIXTY_FOUR
+        return np.where(big, _Z, _u(v) >> np.where(big, _Z, a))
+
+    def _sra(v, amt):
+        """Arithmetic shift of a 64-bit sign pattern; returns the uint64 pattern."""
+        sh = np.minimum(_u(amt), _SIXTY_THREE).astype(np.int64)
+        return (_i64(v) >> sh).astype(_U64)
+
+    def _udiv(a, b):
+        au, bu = _u(a), _u(b)
+        bz = np.equal(bu, _Z)
+        return np.where(bz, _Z, au // np.where(bz, _ONE, bu))
+
+    def _urem(a, b):
+        au, bu = _u(a), _u(b)
+        bz = np.equal(bu, _Z)
+        return np.where(bz, _Z, au % np.where(bz, _ONE, bu))
+
+    def _sdiv(a, b):
+        """Verilog signed division on two's-complement patterns.
+
+        Magnitudes are computed in the uint64 domain (0 - x) so INT64_MIN
+        does not overflow the way abs(int64) would.
+        """
+        ai, bi = _i64(a), _i64(b)
+        au, bu = ai.astype(_U64), bi.astype(_U64)
+        na, nb = ai < 0, bi < 0
+        ma = np.where(na, _Z - au, au)
+        mb = np.where(nb, _Z - bu, bu)
+        bz = np.equal(bi, 0)
+        q = ma // np.where(bz, _ONE, mb)
+        q = np.where(np.logical_xor(na, nb), _Z - q, q)
+        return np.where(bz, _Z, q)
+
+    def _srem(a, b):
+        """Verilog signed remainder: sign follows the dividend, x % 0 == 0."""
+        ai, bi = _i64(a), _i64(b)
+        au, bu = ai.astype(_U64), bi.astype(_U64)
+        na = ai < 0
+        ma = np.where(na, _Z - au, au)
+        mb = np.where(bi < 0, _Z - bu, bu)
+        bz = np.equal(bi, 0)
+        r = ma % np.where(bz, _ONE, mb)
+        r = np.where(na, _Z - r, r)
+        return np.where(bz, _Z, r)
+
+    def _parity(v):
+        x = _u(v)
+        for s in (32, 16, 8, 4, 2, 1):
+            x = x ^ (x >> np.uint64(s))
+        return x & _ONE
+
+    _NAMESPACE = {
+        "np": np,
+        "_u": _u,
+        "_i64": _i64,
+        "_sel": _sel,
+        "_b2u": _b2u,
+        "_shl": _shl,
+        "_shr": _shr,
+        "_sra": _sra,
+        "_udiv": _udiv,
+        "_urem": _urem,
+        "_sdiv": _sdiv,
+        "_srem": _srem,
+        "_parity": _parity,
+    }
+
+
+_COMPARE_OPS = {
+    "==": "np.equal", "===": "np.equal",
+    "!=": "np.not_equal", "!==": "np.not_equal",
+    "<": "np.less", "<=": "np.less_equal",
+    ">": "np.greater", ">=": "np.greater_equal",
+}
+
+
+class _VecCodegen:
+    """Mirror of compile_sim._Codegen emitting NumPy array expressions.
+
+    Control flow is if-converted: VIf/VCase bodies run unconditionally on all
+    lanes and their writes merge through bool predicate arrays (``pred``), so
+    a single pass serves every lane regardless of which branch each lane
+    takes.  All expressions are pure and all Verilog ops are total (x/0 == 0),
+    so evaluating untaken branches can neither raise nor diverge.
+    """
+
+    def __init__(self, analysis: ModuleAnalysis):
+        self.a = analysis
+        self.lines: list[str] = []
+        self._tmp = 0
+
+    # ------------------------------------------------------------------ output
+
+    def emit(self, indent: int, text: str) -> None:
+        self.lines.append("    " * indent + text)
+
+    def fresh(self) -> str:
+        self._tmp += 1
+        return f"_t{self._tmp}"
+
+    # ------------------------------------------------------------- expressions
+
+    def gen(self, expr: vast.VExpr, w: int, read: Callable[[str], str]) -> str:
+        """NumPy code for the unsigned value of ``expr`` masked to ``w`` bits."""
+        if w > LANE_WIDTH:
+            raise AnalysisError(
+                f"context width {w} exceeds the {LANE_WIDTH}-bit vector lanes"
+            )
+        a = self.a
+        if isinstance(expr, vast.VIdent):
+            meta = a.meta(expr.name)
+            base = read(expr.name)
+            if w == meta.width:
+                return base
+            if w < meta.width:
+                return f"({base} & {_mask(w)})"
+            if meta.signed:
+                # The scalar _sx formula ((x ^ sb) - sb) is valid in both
+                # domains: on uint64 it wraps to the 64-bit sign pattern.
+                return f"({_sx(base, meta.width)} & {_mask(w)})"
+            return base
+        if isinstance(expr, vast.VLiteral):
+            return str(expr.value & _mask(w))
+        if isinstance(expr, vast.VCall):
+            return self.gen(expr.args[0], w, read)
+        if isinstance(expr, vast.VUnary):
+            return self._gen_unary(expr, w, read)
+        if isinstance(expr, vast.VBinary):
+            return self._gen_binary(expr, w, read)
+        if isinstance(expr, vast.VTernary):
+            c = self.gen(expr.condition, a.width(expr.condition), read)
+            t = self.gen(expr.true_value, w, read)
+            f = self.gen(expr.false_value, w, read)
+            return f"_sel(np.not_equal({c}, 0), {t}, {f})"
+        if isinstance(expr, vast.VConcat):
+            parts = []
+            offset = sum(a.width(p) for p in expr.parts)
+            for part in expr.parts:
+                pw = a.width(part)
+                offset -= pw
+                code = self.gen(part, pw, read)
+                if offset >= LANE_WIDTH:
+                    raise AnalysisError(
+                        f"concat offset {offset} exceeds the vector lanes"
+                    )
+                if offset:
+                    parts.append(f"((_u({code})) << np.uint64({offset}))")
+                else:
+                    parts.append(f"({code})")
+            return f"({' | '.join(parts)})" if parts else "0"
+        if isinstance(expr, vast.VRepeat):
+            if expr.count == 0:
+                return "0"
+            pw = a.width(expr.value)
+            code = self.gen(expr.value, pw, read)
+            stamp = sum(1 << (i * pw) for i in range(expr.count))
+            return f"((_u({code})) * {stamp})"
+        if isinstance(expr, vast.VIndex):
+            tw = a.width(expr.target)
+            t = self.gen(expr.target, tw, read)
+            if isinstance(expr.index, vast.VLiteral):
+                index = expr.index.value & _mask(a.width(expr.index))
+                if index >= tw:
+                    return "0"
+                return f"((_u({t}) >> np.uint64({index})) & 1)"
+            i = self.gen(expr.index, a.width(expr.index), read)
+            return f"_sel(np.less(_u({i}), np.uint64({tw})), _shr({t}, {i}) & 1, 0)"
+        if isinstance(expr, vast.VRange):
+            t = self.gen(expr.target, a.width(expr.target), read)
+            fw = expr.msb - expr.lsb + 1
+            if expr.lsb >= LANE_WIDTH:
+                return "0"
+            return f"((_u({t}) >> np.uint64({expr.lsb})) & {_mask(fw)})"
+        raise AnalysisError(f"unsupported expression {expr!r}")
+
+    def _gen_unary(self, expr: vast.VUnary, w: int, read) -> str:
+        a = self.a
+        if expr.op in ("&", "|", "^", "~&", "~|", "~^"):
+            ow = a.width(expr.operand)
+            oc = self.gen(expr.operand, ow, read)
+            if expr.op == "&":
+                return f"_b2u(np.equal({oc}, {_mask(ow)}))" if ow > 0 else "0"
+            if expr.op == "~&":
+                return f"_b2u(np.not_equal({oc}, {_mask(ow)}))" if ow > 0 else "1"
+            if expr.op == "|":
+                return f"_b2u(np.not_equal({oc}, 0))"
+            if expr.op == "~|":
+                return f"_b2u(np.equal({oc}, 0))"
+            if expr.op == "^":
+                return f"_parity({oc})"
+            return f"(_parity({oc}) ^ 1)"  # ~^
+        if expr.op == "!":
+            oc = self.gen(expr.operand, a.width(expr.operand), read)
+            return f"_b2u(np.equal({oc}, 0))"
+        if expr.op == "~":
+            oc = self.gen(expr.operand, w, read)
+            return f"((~_u({oc})) & {_mask(w)})"
+        if expr.op == "-":
+            # Sign-extension is a no-op modulo 2**w, so the signed case needs
+            # no _sx here (unlike scalar codegen, which works on Python ints).
+            oc = self.gen(expr.operand, w, read)
+            return f"((0 - _u({oc})) & {_mask(w)})"
+        raise AnalysisError(f"unsupported unary operator {expr.op}")
+
+    def _gen_binary(self, expr: vast.VBinary, w: int, read) -> str:
+        a = self.a
+        op = expr.op
+        if op in ("&&", "||"):
+            l = self.gen(expr.left, a.width(expr.left), read)
+            r = self.gen(expr.right, a.width(expr.right), read)
+            joiner = "logical_and" if op == "&&" else "logical_or"
+            return (
+                f"_b2u(np.{joiner}(np.not_equal({l}, 0), np.not_equal({r}, 0)))"
+            )
+        if op in _COMPARE_OPS:
+            ow = max(a.width(expr.left), a.width(expr.right))
+            operands_signed = a.signedness(expr.left) and a.signedness(expr.right)
+            l = self.gen(expr.left, ow, read)
+            r = self.gen(expr.right, ow, read)
+            if operands_signed:
+                l = f"_i64({_sx(l, ow)})"
+                r = f"_i64({_sx(r, ow)})"
+            else:
+                l, r = f"_u({l})", f"_u({r})"
+            return f"_b2u({_COMPARE_OPS[op]}({l}, {r}))"
+        if op in ("<<", ">>", "<<<", ">>>"):
+            l = self.gen(expr.left, w, read)
+            amt = self.gen(expr.right, a.width(expr.right), read)
+            if op in ("<<", "<<<"):
+                return f"(_shl({l}, {amt}) & {_mask(w)})"
+            if op == ">>>" and a.signedness(expr.left):
+                return f"(_sra({_sx(l, w)}, {amt}) & {_mask(w)})"
+            return f"_shr({l}, {amt})"
+        signed = a.signedness(expr)
+        l = self.gen(expr.left, w, read)
+        r = self.gen(expr.right, w, read)
+        if op in ("&", "|"):
+            return f"((_u({l})) {op} ({r}))"
+        if op == "^":
+            return f"((_u({l})) ^ ({r}))"
+        if op in ("^~", "~^"):
+            return f"((~(_u({l}) ^ ({r}))) & {_mask(w)})"
+        if op == "+":
+            return f"(((_u({l})) + ({r})) & {_mask(w)})"
+        if op == "-":
+            return f"(((_u({l})) - ({r})) & {_mask(w)})"
+        if op == "*":
+            return f"(((_u({l})) * ({r})) & {_mask(w)})"
+        if op in ("/", "%"):
+            if signed:
+                fn = "_sdiv" if op == "/" else "_srem"
+                return f"({fn}({_sx(l, w)}, {_sx(r, w)}) & {_mask(w)})"
+            fn = "_udiv" if op == "/" else "_urem"
+            return f"({fn}({l}, {r}) & {_mask(w)})"
+        raise AnalysisError(f"unsupported binary operator {op}")
+
+    # -------------------------------------------------------------- statements
+
+    def emit_assign(
+        self,
+        target: vast.VExpr,
+        value: vast.VExpr,
+        indent: int,
+        read: Callable[[str], str],
+        store: _Store,
+        pred: str | None,
+    ) -> None:
+        a = self.a
+        if isinstance(target, vast.VIdent):
+            meta = a.meta(target.name)
+            cw = max(a.width(value), meta.width)
+            code = self.gen(value, cw, read)
+            if cw > meta.width:
+                code = f"({code}) & {meta.mask}"
+            lv = store.lvalue(meta)
+            if pred is None:
+                self.emit(indent, f"{lv} = {code}")
+            else:
+                self.emit(indent, f"{lv} = _sel({pred}, {code}, {lv})")
+            return
+        if isinstance(target, vast.VIndex):
+            if not isinstance(target.target, vast.VIdent):
+                raise AnalysisError(f"unsupported assignment target {target!r}")
+            meta = a.meta(target.target.name)
+            cw = max(a.width(value), 1)
+            bit = f"({self.gen(value, cw, read)}) & 1"
+            lv = store.lvalue(meta)
+            tmp = self.fresh()
+            self.emit(
+                indent,
+                f"{tmp} = {self.gen(target.index, a.width(target.index), read)}",
+            )
+            in_range = f"np.less(_u({tmp}), np.uint64({meta.width}))"
+            p = in_range if pred is None else f"(({pred}) & {in_range})"
+            self.emit(
+                indent,
+                f"{lv} = _sel({p}, "
+                f"(_u({lv}) & (~_shl(1, {tmp}))) | _shl({bit}, {tmp}), {lv})",
+            )
+            return
+        if isinstance(target, vast.VRange):
+            if not isinstance(target.target, vast.VIdent):
+                raise AnalysisError(f"unsupported assignment target {target!r}")
+            meta = a.meta(target.target.name)
+            fw = target.msb - target.lsb + 1
+            if target.lsb >= LANE_WIDTH:
+                raise AnalysisError(
+                    f"range assignment lsb {target.lsb} exceeds the vector lanes"
+                )
+            cw = max(a.width(value), fw)
+            code = self.gen(value, cw, read)
+            fm = _mask(fw) << target.lsb
+            inv = (~fm) & _mask(LANE_WIDTH)
+            lv = store.lvalue(meta)
+            merged = (
+                f"((_u({lv}) & {inv}) | "
+                f"(((_u({code})) & {_mask(fw)}) << np.uint64({target.lsb})))"
+                f" & {meta.mask}"
+            )
+            if pred is None:
+                self.emit(indent, f"{lv} = {merged}")
+            else:
+                self.emit(indent, f"{lv} = _sel({pred}, {merged}, {lv})")
+            return
+        raise AnalysisError(f"unsupported assignment target {target!r}")
+
+    def emit_stmts(
+        self,
+        stmts: list[vast.VStmt],
+        indent: int,
+        read: Callable[[str], str],
+        blocking: _Store,
+        nonblocking: _Store,
+        pred: str | None,
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, vast.VBlockingAssign):
+                if isinstance(stmt.target, vast.VIdent) and stmt.target.name == "_":
+                    continue  # null statement placeholder
+                self.emit_assign(stmt.target, stmt.value, indent, read, blocking, pred)
+            elif isinstance(stmt, vast.VNonBlockingAssign):
+                self.emit_assign(stmt.target, stmt.value, indent, read, nonblocking, pred)
+            elif isinstance(stmt, vast.VIf):
+                cond = self.gen(stmt.condition, self.a.width(stmt.condition), read)
+                c = self.fresh()
+                self.emit(indent, f"{c} = np.not_equal({cond}, 0)")
+                if pred is None:
+                    pt = c
+                else:
+                    pt = self.fresh()
+                    self.emit(indent, f"{pt} = ({pred}) & {c}")
+                self.emit_stmts(stmt.then_body, indent, read, blocking, nonblocking, pt)
+                if stmt.else_body:
+                    pe = self.fresh()
+                    if pred is None:
+                        self.emit(indent, f"{pe} = ~{c}")
+                    else:
+                        self.emit(indent, f"{pe} = ({pred}) & (~{c})")
+                    self.emit_stmts(
+                        stmt.else_body, indent, read, blocking, nonblocking, pe
+                    )
+            elif isinstance(stmt, vast.VCase):
+                self._emit_case(stmt, indent, read, blocking, nonblocking, pred)
+            else:
+                raise AnalysisError(f"unsupported statement {stmt!r}")
+
+    def _emit_case(
+        self,
+        stmt: vast.VCase,
+        indent: int,
+        read: Callable[[str], str],
+        blocking: _Store,
+        nonblocking: _Store,
+        pred: str | None,
+    ) -> None:
+        subject = self.fresh()
+        self.emit(
+            indent,
+            f"{subject} = {self.gen(stmt.subject, self.a.width(stmt.subject), read)}",
+        )
+        default_item = None
+        reached = pred  # lanes still looking for a matching branch
+        for item in stmt.items:
+            if item.patterns is None:
+                default_item = item
+                continue
+            tests = [
+                f"np.equal({subject}, ({self.gen(p, self.a.width(p), read)}))"
+                for p in item.patterns
+            ]
+            m = self.fresh()
+            if tests:
+                self.emit(indent, f"{m} = {' | '.join(tests)}")
+            else:
+                self.emit(indent, f"{m} = np.False_")
+            if reached is None:
+                pi = m
+            else:
+                pi = self.fresh()
+                self.emit(indent, f"{pi} = ({reached}) & {m}")
+            self.emit_stmts(item.body, indent, read, blocking, nonblocking, pi)
+            nr = self.fresh()
+            if reached is None:
+                self.emit(indent, f"{nr} = ~{m}")
+            else:
+                self.emit(indent, f"{nr} = ({reached}) & (~{m})")
+            reached = nr
+        if default_item is not None:
+            self.emit_stmts(
+                default_item.body, indent, read, blocking, nonblocking, reached
+            )
+
+
+# ---------------------------------------------------------------------------
+# Module compilation (SoA kernel template)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VecKernelTemplate:
+    """A vector-compiled module; per-batch state is a list of lane arrays."""
+
+    module_name: str
+    fingerprint: str
+    slots: dict[str, SignalMeta]
+    n_slots: int
+    comb: Callable[[list], None]
+    steps: dict[str, Callable[[list], None]]
+    source: str = ""
+
+    def new_state(self, lanes: int) -> list:
+        return [np.zeros(lanes, dtype=np.uint64) for _ in range(self.n_slots)]
+
+
+def compile_vec_kernel(
+    module: vast.VModule, analysis: ModuleAnalysis | None = None
+) -> VecKernelTemplate:
+    """Translate ``module`` to NumPy SoA closures; AnalysisError if unsupported."""
+    if not HAVE_NUMPY:
+        raise AnalysisError("NumPy is unavailable; the vector backend is disabled")
+    analysis = analysis if analysis is not None else ModuleAnalysis(module)
+    schedule = analysis.schedule()  # raises CombLoopError on true cycles
+    for meta in analysis.signals.values():
+        if meta.width > LANE_WIDTH:
+            raise AnalysisError(
+                f"signal {meta.name!r} is {meta.width} bits wide; vector lanes "
+                f"are {LANE_WIDTH}-bit"
+            )
+    gen = _VecCodegen(analysis)
+
+    def comb_read(name: str) -> str:
+        return f"s[{analysis.meta(name).slot}]"
+
+    comb_store = _Store(lambda meta: f"s[{meta.slot}]")
+
+    gen.emit(0, "def comb(s):")
+    mark = len(gen.lines)
+    for node in schedule:
+        if node.kind == "assign":
+            assign = node.item
+            gen.emit_assign(assign.target, assign.value, 1, comb_read, comb_store, None)
+        else:
+            gen.emit_stmts(node.item.body, 1, comb_read, comb_store, comb_store, None)
+    if len(gen.lines) == mark:
+        gen.emit(1, "pass")
+    gen.emit(0, "")
+
+    clocks = analysis.clocks()
+    step_names: dict[str, str] = {}
+    for clock_index, clock in enumerate(clocks):
+        blocks = analysis.clocked_blocks(clock)
+        function = f"_step_{clock_index}"
+        step_names[clock] = function
+
+        pending_slots: list[int] = []
+        block_plans: list[tuple[vast.VAlways, set[str]]] = []
+        seen_pending: set[int] = set()
+        for block in blocks:
+            blocking: set[str] = set()
+            nonblocking: set[str] = set()
+            _blocking_targets(block.body, blocking, nonblocking)
+            overlap = blocking & nonblocking
+            if overlap:
+                raise AnalysisError(
+                    f"signal(s) {sorted(overlap)} are both blocking and non-blocking "
+                    f"targets in one always block of module {module.name}"
+                )
+            for name in nonblocking:
+                slot = analysis.meta(name).slot
+                if slot not in seen_pending:
+                    seen_pending.add(slot)
+                    pending_slots.append(slot)
+            for name in blocking:
+                analysis.meta(name)  # force unknown-signal detection
+            block_plans.append((block, blocking))
+
+        gen.emit(0, f"def {function}(s):")
+        if not blocks:
+            gen.emit(1, "pass")
+        for slot in pending_slots:
+            gen.emit(1, f"_n{slot} = s[{slot}]")
+        for block_index, (block, blocking) in enumerate(block_plans):
+            blocking_slots = sorted(analysis.meta(name).slot for name in blocking)
+            for slot in blocking_slots:
+                gen.emit(1, f"_b{block_index}_{slot} = s[{slot}]")
+            blocking_set = set(blocking)
+
+            def clocked_read(name: str, _bi=block_index, _bset=blocking_set) -> str:
+                meta = analysis.meta(name)
+                if name in _bset:
+                    return f"_b{_bi}_{meta.slot}"
+                return f"s[{meta.slot}]"
+
+            blocking_store = _Store(lambda meta, _bi=block_index: f"_b{_bi}_{meta.slot}")
+            nonblocking_store = _Store(lambda meta: f"_n{meta.slot}")
+            # Predicated writes rebind the temp to a fresh merged array (never
+            # in-place), so the s[slot] arrays these temps alias stay intact.
+            gen.emit_stmts(
+                block.body, 1, clocked_read, blocking_store, nonblocking_store, None
+            )
+        for slot in pending_slots:
+            gen.emit(1, f"s[{slot}] = _n{slot}")
+        gen.emit(0, "")
+
+    source = "\n".join(gen.lines)
+    namespace: dict[str, object] = dict(_NAMESPACE)
+    exec(compile(source, f"<veckernel:{module.name}>", "exec"), namespace)
+
+    return VecKernelTemplate(
+        module_name=module.name,
+        fingerprint=module_fingerprint(module),
+        slots=dict(analysis.signals),
+        n_slots=len(analysis.signals),
+        comb=namespace["comb"],
+        steps={clock: namespace[function] for clock, function in step_names.items()},
+        source=source,
+    )
+
+# ---------------------------------------------------------------------------
+# Vector trace kernels: a whole stimulus schedule, all lanes at once
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VecTraceKernel:
+    """A compiled (module, schedule) pair running many executions per call.
+
+    ``run`` takes a batch of stimulus rows (each a flat sequence shaped like
+    :meth:`TraceKernel.run`'s input) and returns a ``(rows, n_samples)``
+    uint64 matrix whose row ``i`` equals, bit for bit, what the scalar trace
+    kernel would return for stimulus row ``i``.  ``run`` also accepts the
+    pre-masked matrix produced by ``pack`` (callers that re-run the same
+    stimulus — repair iterations over one testbench — cache the packing).
+    """
+
+    module_name: str
+    fingerprint: str
+    digest: str
+    mode: str  # "points" (stimulus points are lanes) | "lockstep" (rows are)
+    lanes_per_row: int
+    n_samples: int
+    run: Callable[[Sequence[Sequence[int]]], "np.ndarray"]
+    pack: Callable[[Sequence[Sequence[int]]], "np.ndarray"]
+    source: str = ""
+
+
+class _VecTraceGen(_TraceGen):
+    """Scalar trace emitter with drives re-aimed at stimulus matrix columns."""
+
+    def drive_code(self, meta: SignalMeta, index_code: str) -> str:
+        # Columns are pre-masked by _pack, so no & here.
+        return f"s[{meta.slot}] = stim[:, {index_code}]"
+
+
+def _stim_masks(template: VecKernelTemplate, schedule: TraceSchedule) -> list[int]:
+    masks: list[int] = []
+    for names, _cycles, _check in schedule.points:
+        masks.extend(template.slots[name].mask for name in names)
+    return masks
+
+
+def _pack(rows: Sequence[Sequence[int]], masks: list[int]) -> "np.ndarray":
+    """Mask and stack stimulus rows into a (rows, stim_len) uint64 matrix.
+
+    Masking happens in Python-int space *before* the uint64 conversion, so
+    arbitrary-precision (or negative) stimulus values cannot overflow.
+    """
+    if not masks:
+        return np.empty((len(rows), 0), dtype=np.uint64)
+    return np.array(
+        [[v & m for v, m in zip(row, masks)] for row in rows], dtype=np.uint64
+    ).reshape(len(rows), len(masks))
+
+
+def _sample_count(schedule: TraceSchedule) -> tuple[list[int], int]:
+    checked = [
+        index
+        for index, (_names, _cycles, check) in enumerate(schedule.points)
+        if check and schedule.observed
+    ]
+    return checked, len(checked) * len(schedule.observed)
+
+
+def _compile_point_lanes(
+    module: vast.VModule, schedule: TraceSchedule, template: VecKernelTemplate
+) -> VecTraceKernel:
+    """Mode A: no clocked block on the schedule clock, so ticks are no-ops and
+    every functional point is an independent evaluation of the settled
+    combinational function — one lane per (row, point).
+
+    Input carry-over (a point only re-drives some inputs; the rest keep their
+    last driven value, initially 0 — including the deasserted reset) is
+    reproduced per input with a static forward-fill gather over the points
+    that drive it.
+    """
+    points = schedule.points
+    driven: dict[str, tuple[list[int], list[int]]] = {}
+    offset = 0
+    for p_index, (names, _cycles, _check) in enumerate(points):
+        for j, name in enumerate(names):
+            entry = driven.setdefault(name, ([], []))
+            entry[0].append(p_index)
+            entry[1].append(offset + j)
+        offset += len(names)
+    n_points = len(points)
+    checked, n_samples = _sample_count(schedule)
+    checked_arr = np.array(checked, dtype=np.int64)
+    n_observed = len(schedule.observed)
+    observed_slots = [template.slots[name].slot for name in schedule.observed]
+    masks = _stim_masks(template, schedule)
+
+    gathers: list[tuple[int, "np.ndarray", "np.ndarray"]] = []
+    for name, (p_indices, offs) in driven.items():
+        # marker[p] = 1 + rank of the latest drive at or before point p
+        # (0 = never driven yet -> the prepended all-zeros column).
+        marker = np.zeros(n_points, dtype=np.int64)
+        marker[np.array(p_indices, dtype=np.int64)] = np.arange(
+            1, len(p_indices) + 1, dtype=np.int64
+        )
+        marker = np.maximum.accumulate(marker)
+        gathers.append(
+            (template.slots[name].slot, np.array(offs, dtype=np.int64), marker)
+        )
+
+    comb = template.comb
+    new_state = template.new_state
+
+    def run(rows: Sequence[Sequence[int]]) -> "np.ndarray":
+        stim = rows if isinstance(rows, np.ndarray) else _pack(rows, masks)
+        n_rows = stim.shape[0]
+        lanes = n_rows * n_points
+        state = new_state(lanes)
+        for slot, offs, marker in gathers:
+            cols = np.concatenate(
+                [np.zeros((n_rows, 1), dtype=np.uint64), stim[:, offs]], axis=1
+            )
+            state[slot] = cols[:, marker].reshape(lanes)
+        # Wraparound on +/-/* is the masked-arithmetic contract, not an error.
+        with np.errstate(over="ignore"):
+            comb(state)
+        out = np.empty((n_rows, n_samples), dtype=np.uint64)
+        for w_index, slot in enumerate(observed_slots):
+            value = np.broadcast_to(
+                np.asarray(state[slot], dtype=np.uint64), (lanes,)
+            ).reshape(n_rows, n_points)
+            out[:, w_index::n_observed] = value[:, checked_arr]
+        return out
+
+    return VecTraceKernel(
+        module_name=module.name,
+        fingerprint=template.fingerprint,
+        digest=schedule.digest,
+        mode="points",
+        lanes_per_row=max(1, n_points),
+        n_samples=n_samples,
+        run=run,
+        pack=lambda rows: _pack(rows, masks),
+        source=template.source,
+    )
+
+
+def _compile_lockstep(
+    module: vast.VModule,
+    schedule: TraceSchedule,
+    template: VecKernelTemplate,
+    ports: set[str],
+) -> VecTraceKernel:
+    """Mode B: the module is sequential on the schedule clock, so points stay
+    a time loop — but every batched row is a lane, advancing N structurally
+    identical executions through the schedule in lockstep.
+    """
+    edge = template.steps[schedule.clock]
+    gen = _VecTraceGen(template, schedule, has_edge=True)
+    emit_trace_body(gen, ports)
+    source = "\n".join(gen.lines)
+    namespace: dict[str, object] = {"comb": template.comb, "step": edge}
+    exec(compile(source, f"<vectrace:{module.name}>", "exec"), namespace)
+    trace_fn = namespace["trace"]
+    _checked, n_samples = _sample_count(schedule)
+    masks = _stim_masks(template, schedule)
+    new_state = template.new_state
+
+    def run(rows: Sequence[Sequence[int]]) -> "np.ndarray":
+        stim = rows if isinstance(rows, np.ndarray) else _pack(rows, masks)
+        n_rows = stim.shape[0]
+        state = new_state(n_rows)
+        samples: list = []
+
+        def ap(value) -> None:
+            samples.append(
+                np.broadcast_to(np.asarray(value, dtype=np.uint64), (n_rows,))
+            )
+
+        # Wraparound on +/-/* is the masked-arithmetic contract, not an error.
+        with np.errstate(over="ignore"):
+            trace_fn(state, stim, ap)
+        if not samples:
+            return np.empty((n_rows, 0), dtype=np.uint64)
+        return np.stack(samples, axis=1)
+
+    return VecTraceKernel(
+        module_name=module.name,
+        fingerprint=template.fingerprint,
+        digest=schedule.digest,
+        mode="lockstep",
+        lanes_per_row=1,
+        n_samples=n_samples,
+        run=run,
+        pack=lambda rows: _pack(rows, masks),
+        source=source,
+    )
+
+
+def compile_vec_trace(
+    module: vast.VModule,
+    schedule: TraceSchedule,
+    template: VecKernelTemplate | None = None,
+) -> VecTraceKernel:
+    """Compile ``schedule`` against ``module`` into a batched lane kernel.
+
+    Raises :class:`AnalysisError` on pairings the scalar trace would also
+    reject (missing ports, unsupported constructs, oversized unrolls): the
+    caller falls back so step-wise error reports are reproduced verbatim.
+    """
+    if not HAVE_NUMPY:
+        raise AnalysisError("NumPy is unavailable; the vector backend is disabled")
+    template = template if template is not None else compile_vec_kernel(module)
+    ports = check_schedule_ports(module, schedule)
+    if template.steps.get(schedule.clock) is None:
+        return _compile_point_lanes(module, schedule, template)
+    return _compile_lockstep(module, schedule, template, ports)
+
+
+# ---------------------------------------------------------------------------
+# Caches
+# ---------------------------------------------------------------------------
+
+_template_cache: LruCache = LruCache(256, name="sim_vec_kernel")
+_vec_cache: LruCache = LruCache(512, name="sim_vec")
+_MISSING = object()
+
+
+def get_vec_template(module: vast.VModule) -> VecKernelTemplate | None:
+    """Cached SoA template for ``module``; ``None`` means "fall back"."""
+    if not HAVE_NUMPY:
+        return None
+    fingerprint = getattr(module, "_kernel_fingerprint", None)
+    if fingerprint is None:
+        fingerprint = module_fingerprint(module)
+        module._kernel_fingerprint = fingerprint  # AST is immutable by convention
+    cached = _template_cache.get(fingerprint, _MISSING)
+    if cached is not _MISSING:
+        return cached
+    try:
+        template: VecKernelTemplate | None = compile_vec_kernel(module)
+    except AnalysisError:
+        return _template_cache.put(fingerprint, None)
+    except (RecursionError, ValueError):
+        # Stack-depth dependent or degenerate-width failures: fall back for
+        # this call without demoting the module permanently.
+        return None
+    return _template_cache.put(fingerprint, template)
+
+
+def get_vec_kernel(
+    module: vast.VModule, schedule: TraceSchedule
+) -> VecTraceKernel | None:
+    """Cached vector trace kernel; ``None`` means "use a scalar backend".
+
+    Mirrors :func:`~repro.verilog.compile_sim.get_trace_kernel`: ineligible
+    pairings are negatively cached so iterative-repair sweeps retrying the
+    same candidate skip re-analysis.
+    """
+    if not HAVE_NUMPY:
+        return None
+    template = get_vec_template(module)
+    if template is None:
+        return None
+    key = f"{template.fingerprint}:{schedule.digest}"
+    cached = _vec_cache.get(key, _MISSING)
+    if cached is not _MISSING:
+        return cached
+    try:
+        kernel: VecTraceKernel | None = compile_vec_trace(module, schedule, template)
+    except (AnalysisError, SyntaxError):
+        # SyntaxError is a codegen bug tripwire: deterministic for the
+        # pairing, so demote it to the scalar paths rather than crash.
+        return _vec_cache.put(key, None)
+    except (RecursionError, ValueError):
+        return None
+    return _vec_cache.put(key, kernel)
+
+
+def vec_cache_stats() -> dict[str, int]:
+    """Counters for the vector template and trace caches."""
+    return {
+        "vec_hits": _vec_cache.stats["hits"],
+        "vec_misses": _vec_cache.stats["misses"],
+        "vec_size": len(_vec_cache),
+        "vec_kernel_size": len(_template_cache),
+    }
+
+
+def clear_vec_cache() -> None:
+    """Empty the vector caches (benchmarks force cold runs here)."""
+    _template_cache.clear()
+    _vec_cache.clear()
