@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Compare the last two ``BENCH_history.jsonl`` snapshots per benchmark.
+
+Usage::
+
+    python benchmarks/bench_trend.py [BENCH_history.jsonl] [--threshold 0.20]
+
+``run_benchmarks.py`` appends one timestamped line per successful run, so the
+perf trajectory is already on disk; this tool turns it into a regression
+gate.  For every benchmark name it finds the two most recent history lines
+containing that benchmark (runs covering different file subsets interleave
+freely) and compares mean runtimes.  Exit status is nonzero when any
+benchmark slowed by more than the threshold (default 20%), which is how
+``run_benchmarks.py --check-trend`` fails a commit that quietly lost a
+prior commit's speedup without tripping any absolute assertion.
+
+Fewer than two snapshots for a benchmark is reported but never fails: a
+fresh clone or a newly-added benchmark has no trend yet.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_THRESHOLD = 0.20
+
+
+def load_history(path: str) -> list[dict]:
+    """Parse the JSONL history, skipping unparseable lines (partial writes)."""
+    snapshots = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(entry, dict) and isinstance(entry.get("benchmarks"), dict):
+                snapshots.append(entry)
+    return snapshots
+
+
+def compare_trend(snapshots: list[dict], threshold: float = DEFAULT_THRESHOLD):
+    """Per-benchmark deltas between its last two appearances.
+
+    Returns ``(regressions, report_lines)`` where each regression is
+    ``(name, previous_mean, current_mean, ratio)``.
+    """
+    regressions = []
+    lines = []
+    names: dict[str, None] = {}
+    for snapshot in snapshots:
+        for name in snapshot["benchmarks"]:
+            names.setdefault(name)
+    for name in names:
+        appearances = [
+            (snapshot.get("timestamp", "?"), snapshot.get("commit"), snapshot["benchmarks"][name])
+            for snapshot in snapshots
+            if name in snapshot["benchmarks"]
+        ]
+        if len(appearances) < 2:
+            lines.append(f"  {name}: only {len(appearances)} snapshot(s), no trend yet")
+            continue
+        (_, _, previous), (when, commit, current) = appearances[-2], appearances[-1]
+        previous_mean = float(previous.get("mean", 0.0))
+        current_mean = float(current.get("mean", 0.0))
+        if previous_mean <= 0.0:
+            lines.append(f"  {name}: previous mean is zero, skipped")
+            continue
+        ratio = current_mean / previous_mean
+        delta = (ratio - 1.0) * 100.0
+        marker = ""
+        if ratio > 1.0 + threshold:
+            marker = "  ** REGRESSION **"
+            regressions.append((name, previous_mean, current_mean, ratio))
+        lines.append(
+            f"  {name}: {previous_mean * 1000:.2f} ms -> {current_mean * 1000:.2f} ms "
+            f"({delta:+.1f}%) at {commit or '?'} {when}{marker}"
+        )
+    return regressions, lines
+
+
+def check_trend(history_path: str, threshold: float = DEFAULT_THRESHOLD) -> int:
+    """Print the trend report; return the number of regressions."""
+    if not os.path.exists(history_path):
+        print(f"bench-trend: no history at {history_path} (nothing to compare)")
+        return 0
+    snapshots = load_history(history_path)
+    if len(snapshots) < 2:
+        print(
+            f"bench-trend: {len(snapshots)} snapshot(s) in {history_path}, "
+            "need two runs for a trend"
+        )
+        return 0
+    regressions, lines = compare_trend(snapshots, threshold)
+    print(f"bench-trend: last-two-snapshot deltas (threshold {threshold * 100:.0f}%):")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(
+            f"bench-trend: {len(regressions)} benchmark(s) regressed "
+            f"beyond {threshold * 100:.0f}%"
+        )
+    return len(regressions)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    default_history = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_history.jsonl",
+    )
+    parser.add_argument("history", nargs="?", default=default_history)
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
+    args = parser.parse_args(argv)
+    return 1 if check_trend(args.history, args.threshold) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

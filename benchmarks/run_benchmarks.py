@@ -3,7 +3,7 @@
 
 Usage::
 
-    python benchmarks/run_benchmarks.py [output.json]
+    python benchmarks/run_benchmarks.py [output.json] [--check-trend]
 
 Covers the raw toolchain throughput (compile + simulate one case), the
 batched verification engine (cold candidate, warm iteration-k+1 and trace vs
@@ -27,7 +27,9 @@ facades or the sweep engine.
 Each successful run also appends one timestamped line to
 ``BENCH_history.jsonl`` at the repo root — benchmark name to mean/min
 seconds, keyed by UTC time and the current commit — so the perf trajectory
-is a queryable trend, not just the latest snapshot.
+is a queryable trend, not just the latest snapshot.  ``--check-trend`` then
+compares the two most recent snapshots per benchmark (see
+``bench_trend.py``) and exits nonzero when any mean slowed by more than 20%.
 """
 
 from __future__ import annotations
@@ -80,7 +82,11 @@ def append_history(root: str, results_path: str, history_path: str | None = None
 
 def main(argv: list[str]) -> int:
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    output = argv[1] if len(argv) > 1 else os.path.join(root, "BENCH_toolchain.json")
+    args = list(argv[1:])
+    check_trend_after = "--check-trend" in args
+    if check_trend_after:
+        args.remove("--check-trend")
+    output = args[0] if args else os.path.join(root, "BENCH_toolchain.json")
     src = os.path.join(root, "src")
     sys.path.insert(0, src)
     os.environ["PYTHONPATH"] = src + os.pathsep + os.environ.get("PYTHONPATH", "")
@@ -93,6 +99,7 @@ def main(argv: list[str]) -> int:
             os.path.join(root, "benchmarks", "test_fleet_throughput.py"),
             os.path.join(root, "benchmarks", "test_service_throughput.py"),
             os.path.join(root, "benchmarks", "test_fuzz_throughput.py"),
+            os.path.join(root, "benchmarks", "test_events_overhead.py"),
             "--benchmark-only",
             f"--benchmark-json={output}",
             "-q",
@@ -100,6 +107,11 @@ def main(argv: list[str]) -> int:
     )
     if status == 0:
         append_history(root, output)
+        if check_trend_after:
+            from bench_trend import check_trend
+
+            if check_trend(os.path.join(root, "BENCH_history.jsonl")):
+                return 1
     return status
 
 

@@ -175,6 +175,23 @@ def clear_registered_caches() -> None:
     for instances in _live_caches().values():
         for cache in instances:
             cache.clear()
+    publish_cache_stats(name="cleared")
+
+
+def publish_cache_stats(bus=None, name: str = "snapshot") -> None:
+    """Publish one ``cache.stats`` event carrying :func:`cache_stats`.
+
+    The stage caches are too hot to instrument per lookup; instead consumers
+    (the generation service after each completed job, the console on demand)
+    publish aggregate snapshots.  A no-op unless the bus has subscribers, so
+    it is safe anywhere.
+    """
+    if bus is None:
+        from repro.obs.events import get_bus
+
+        bus = get_bus()
+    if bus.active:
+        bus.publish("cache.stats", name, caches=cache_stats())
 
 
 def snapshot_registered_caches() -> list[tuple["LruCache", "OrderedDict", dict]]:

@@ -1,0 +1,10 @@
+"""Live operations console over the structured event bus.
+
+The headless state model (:class:`~repro.console.model.ConsoleModel`) has no
+UI dependency; the Textual app in :mod:`repro.console.app` is optional.  Run
+``python -m repro.console --demo`` for a self-contained tour.
+"""
+
+from repro.console.model import ConsoleModel, SessionRow, sparkline
+
+__all__ = ["ConsoleModel", "SessionRow", "sparkline"]

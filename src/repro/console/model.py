@@ -1,0 +1,292 @@
+"""Headless state model behind the operations console.
+
+:class:`ConsoleModel` consumes structured events from a
+:class:`repro.obs.EventBus` subscription and folds them into the live tables
+the console renders: per-session rows with per-stage latencies, the fleet
+worker panel, cache hit rates, recent LLM/simulation batch sizes and a
+bounded event tail.
+
+It is deliberately pure Python with no UI dependency: the Textual app in
+:mod:`repro.console.app` is a thin view over this model, the plain-text
+``--plain`` mode calls :meth:`ConsoleModel.render`, and the headless console
+tests drive a real generation service against it without Textual installed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+from repro.obs import Event, EventBus, Subscription
+
+#: Topic prefixes the console subscribes to — everything it knows how to fold.
+TOPICS = ("service", "trace", "fleet", "llm", "sim", "cache", "sweep", "fuzz")
+
+#: Glyphs for :func:`sparkline`, lowest to highest.
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int = 32) -> str:
+    """Render the last ``width`` values as a unicode block sparkline."""
+    tail = list(values)[-width:]
+    if not tail:
+        return ""
+    top = max(tail)
+    if top <= 0:
+        return _SPARK_BLOCKS[0] * len(tail)
+    scale = len(_SPARK_BLOCKS) - 1
+    return "".join(_SPARK_BLOCKS[min(scale, int(value * scale / top))] for value in tail)
+
+
+@dataclass
+class SessionRow:
+    """One generation session (one ``session`` span) as the console shows it."""
+
+    key: str
+    trace: str = ""
+    problem: str = "?"
+    strategy: str = "?"
+    model: str = "?"
+    sample: int | None = None
+    status: str = "running"
+    started_ts: float = 0.0
+    duration: float | None = None
+    #: Cumulative seconds spent per child-span operation (``llm.generate``,
+    #: ``tool.compile``, ``tool.simulate``, ...).
+    stages: dict[str, float] = field(default_factory=dict)
+    stage_counts: dict[str, int] = field(default_factory=dict)
+
+    def stage_ms(self, prefix: str) -> float:
+        """Total milliseconds across stages whose op starts with ``prefix``."""
+        return 1000.0 * sum(
+            seconds for op, seconds in self.stages.items() if op.startswith(prefix)
+        )
+
+
+class ConsoleModel:
+    """Folds bus events into the tables the operations console displays."""
+
+    def __init__(self, max_sessions: int = 256, tail: int = 200, batches: int = 120):
+        self.sessions: OrderedDict[str, SessionRow] = OrderedDict()
+        self.max_sessions = max_sessions
+        self.counters: dict[str, int] = {}
+        self.snapshot: dict = {}
+        self.fleet: dict = {}
+        self.caches: dict[str, dict] = {}
+        self.llm_batches: deque[int] = deque(maxlen=batches)
+        self.sim_batches: deque[int] = deque(maxlen=batches)
+        self.sweep: dict = {}
+        self.tail: deque[str] = deque(maxlen=tail)
+        self.events_seen = 0
+        self._trace_to_session: dict[str, str] = {}
+        self._subscription: Subscription | None = None
+        self._pending: deque[Event] = deque()
+
+    # ------------------------------------------------------------- bus wiring
+
+    def attach(self, bus: EventBus, maxsize: int = 8192) -> Subscription:
+        """Subscribe to ``bus``; call :meth:`pump` to drain into the model."""
+        self._subscription = bus.subscribe(TOPICS, maxsize=maxsize, name="console")
+        return self._subscription
+
+    def detach(self) -> None:
+        if self._subscription is not None:
+            self._subscription.close()
+            self._subscription = None
+
+    def feed(self, event: Event) -> None:
+        """Queue one event from another thread (e.g. a socket reader).
+
+        Safe without a lock: deque append/popleft are atomic, and the event is
+        folded in on the next :meth:`pump` from the rendering thread.
+        """
+        self._pending.append(event)
+
+    def pump(self) -> int:
+        """Drain fed and subscribed events; returns how many arrived."""
+        count = 0
+        while self._pending:
+            self.apply(self._pending.popleft())
+            count += 1
+        if self._subscription is not None:
+            events = self._subscription.pop_all()
+            for event in events:
+                self.apply(event)
+            count += len(events)
+        return count
+
+    # ---------------------------------------------------------------- folding
+
+    def apply(self, event: Event) -> None:
+        """Fold one event into the model (usable without a subscription)."""
+        self.events_seen += 1
+        topic = event.topic
+        if topic == "trace":
+            self._apply_trace(event)
+        elif topic == "service.job":
+            self._count(event.name)
+            if event.name == "cache-hit":
+                self._count("cache-hit." + str(event.attrs.get("tier", "?")))
+        elif topic == "service.snapshot":
+            self.snapshot = dict(event.attrs)
+        elif topic == "fleet":
+            if event.name == "health":
+                self.fleet = dict(event.attrs)
+            else:
+                self._count("fleet." + event.name)
+                self.tail.append(self._format(event))
+        elif topic == "cache.stats":
+            self.caches = dict(event.attrs.get("caches", {}))
+        elif topic == "llm.batch":
+            self.llm_batches.append(int(event.attrs.get("size", 0)))
+        elif topic == "sim.batch":
+            self.sim_batches.append(int(event.attrs.get("size", 0)))
+        elif topic == "llm.retry":
+            self._count("llm-retry")
+            self.tail.append(self._format(event))
+        elif topic == "sweep.progress":
+            self.sweep = dict(event.attrs)
+        elif topic.startswith("fuzz"):
+            self._count(topic)
+            if topic == "fuzz.finding":
+                self.tail.append(self._format(event))
+
+    def _count(self, key: str) -> None:
+        self.counters[key] = self.counters.get(key, 0) + 1
+
+    def _apply_trace(self, event: Event) -> None:
+        attrs = event.attrs
+        op = attrs.get("op", "")
+        span_id = attrs.get("span", "")
+        trace_id = attrs.get("trace", "")
+        if event.name == "span.start" and op == "session":
+            row = SessionRow(
+                key=span_id,
+                trace=trace_id,
+                problem=str(attrs.get("problem", "?")),
+                strategy=str(attrs.get("strategy", "?")),
+                model=str(attrs.get("model", "?")),
+                sample=attrs.get("sample"),
+                started_ts=event.ts,
+            )
+            self.sessions[span_id] = row
+            self._trace_to_session[trace_id] = span_id
+            while len(self.sessions) > self.max_sessions:
+                _, evicted = self.sessions.popitem(last=False)
+                self._trace_to_session.pop(evicted.trace, None)
+        elif event.name == "span.end":
+            if op == "session":
+                row = self.sessions.get(span_id)
+                if row is not None:
+                    row.duration = attrs.get("duration")
+                    row.status = "error" if "error" in attrs else "done"
+                self._trace_to_session.pop(trace_id, None)
+            else:
+                session_key = self._trace_to_session.get(trace_id)
+                row = self.sessions.get(session_key) if session_key else None
+                if row is not None:
+                    duration = float(attrs.get("duration") or 0.0)
+                    row.stages[op] = row.stages.get(op, 0.0) + duration
+                    row.stage_counts[op] = row.stage_counts.get(op, 0) + 1
+
+    def _format(self, event: Event) -> str:
+        extras = " ".join(
+            f"{key}={value}" for key, value in sorted(event.attrs.items())
+        )
+        return f"{event.topic} {event.name} {extras}".rstrip()
+
+    # -------------------------------------------------------------- table views
+
+    def session_rows(self) -> list[tuple]:
+        """Newest-first ``(problem, strategy, model, sample, status, llm ms,
+        compile ms, simulate ms, total ms)`` rows for the sessions table."""
+        rows = []
+        for row in reversed(self.sessions.values()):
+            total = row.duration
+            rows.append(
+                (
+                    row.problem,
+                    row.strategy,
+                    row.model,
+                    "-" if row.sample is None else str(row.sample),
+                    row.status,
+                    f"{row.stage_ms('llm.'):.1f}",
+                    f"{row.stage_ms('tool.compile'):.1f}",
+                    f"{row.stage_ms('tool.simulate'):.1f}",
+                    "-" if total is None else f"{1000.0 * total:.1f}",
+                )
+            )
+        return rows
+
+    def worker_rows(self) -> list[tuple]:
+        """``(slot, state, pid, restarts, leases, heartbeat age)`` per worker."""
+        rows = []
+        for worker in self.fleet.get("workers", []):
+            age = worker.get("heartbeat_age")
+            rows.append(
+                (
+                    str(worker.get("slot", "?")),
+                    str(worker.get("state", "?")),
+                    str(worker.get("pid", "-")),
+                    str(worker.get("restarts", 0)),
+                    str(worker.get("leases", 0)),
+                    "-" if age is None else f"{age:.2f}s",
+                )
+            )
+        return rows
+
+    def cache_rows(self) -> list[tuple]:
+        """``(cache, hits, misses, hit rate, size)`` per registered cache."""
+        rows = []
+        for name, stats in sorted(self.caches.items()):
+            hits = stats.get("hits", 0)
+            misses = stats.get("misses", 0)
+            lookups = hits + misses
+            rate = f"{100.0 * hits / lookups:.0f}%" if lookups else "-"
+            rows.append((name, str(hits), str(misses), rate, str(stats.get("size", 0))))
+        return rows
+
+    def headline(self) -> str:
+        """One status line: throughput counters, queue depth, sweep progress."""
+        snap = self.snapshot
+        parts = [
+            f"done={self.counters.get('completed', 0)}",
+            f"failed={self.counters.get('failed', 0)}",
+            f"cache-hits={self.counters.get('cache-hit', 0)}",
+            f"queue={snap.get('queue_depth', 0)}",
+            f"in-flight={snap.get('in_flight', 0)}",
+        ]
+        if self.sweep:
+            parts.append(f"sweep={self.sweep.get('done', 0)}/{self.sweep.get('total', 0)}")
+        if self.fleet:
+            parts.append(f"workers-alive={self.fleet.get('alive', 0)}")
+        return "  ".join(parts)
+
+    # ------------------------------------------------------------- plain text
+
+    def render(self, sessions: int = 12) -> str:
+        """A full plain-text dashboard (used by ``--plain`` and tests)."""
+        lines = [self.headline(), ""]
+        lines.append("sessions (newest first):")
+        header = ("problem", "strategy", "model", "s", "status", "llm ms", "compile ms", "sim ms", "total ms")
+        for row in [header] + self.session_rows()[:sessions]:
+            lines.append("  " + "  ".join(str(cell).ljust(12) for cell in row).rstrip())
+        if self.fleet:
+            lines.append("")
+            lines.append("fleet workers:")
+            for row in self.worker_rows():
+                lines.append("  " + "  ".join(row))
+        if self.caches:
+            lines.append("")
+            lines.append("caches:")
+            for row in self.cache_rows():
+                lines.append("  " + "  ".join(row))
+        if self.llm_batches or self.sim_batches:
+            lines.append("")
+            lines.append(f"llm batches: {sparkline(self.llm_batches)}")
+            lines.append(f"sim batches: {sparkline(self.sim_batches)}")
+        if self.tail:
+            lines.append("")
+            lines.append("events:")
+            lines.extend("  " + line for line in list(self.tail)[-10:])
+        return "\n".join(lines)

@@ -29,6 +29,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.executors import LockstepExecutor, ParallelExecutor, SerialExecutor
 from repro.experiments.store import ResultStore
 from repro.experiments.work import WorkerContext, WorkUnit
+from repro.obs import EventBus, get_bus, span
 from repro.problems.registry import ProblemRegistry
 
 
@@ -54,8 +55,12 @@ class SweepEngine:
         registry: ProblemRegistry | None = None,
         store: ResultStore | None = None,
         executor: SerialExecutor | ParallelExecutor | None = None,
+        bus: EventBus | None = None,
     ):
         self.config = config
+        #: Structured event bus: batch spans and per-unit progress events are
+        #: published here (no-ops while nothing subscribes).
+        self.bus = bus if bus is not None else get_bus()
         # A custom registry cannot be rebuilt inside pool workers, so it pins
         # the engine to the serial executor.
         self._custom_registry = registry is not None
@@ -117,15 +122,22 @@ class SweepEngine:
         if pending:
             executor = self._select_executor(len(pending))
             batch = [unit for unit, _ in pending]
-            for position, payload in executor.run_stream(batch):
-                unit, fingerprint = pending[position]
-                self._memo[fingerprint] = payload
-                if self.store is not None:
-                    self.store.put(fingerprint, unit, payload)
-                for index in pending_indices[fingerprint]:
-                    results[index] = payload
-                    done = self._report_progress(done, total)
-                self.stats.executed += 1
+            with span(
+                "sweep.batch",
+                bus=self.bus,
+                units=total,
+                pending=len(pending),
+                executor=type(executor).__name__,
+            ):
+                for position, payload in executor.run_stream(batch):
+                    unit, fingerprint = pending[position]
+                    self._memo[fingerprint] = payload
+                    if self.store is not None:
+                        self.store.put(fingerprint, unit, payload)
+                    for index in pending_indices[fingerprint]:
+                        results[index] = payload
+                        done = self._report_progress(done, total)
+                    self.stats.executed += 1
 
         return results  # type: ignore[return-value]
 
@@ -133,6 +145,8 @@ class SweepEngine:
         done += 1
         if self.progress is not None:
             self.progress(done, total)
+        if self.bus.active:
+            self.bus.publish("sweep.progress", "unit", done=done, total=total)
         return done
 
     # ---------------------------------------------------------------- helpers

@@ -1,4 +1,4 @@
-"""Structured supervisor event log.
+"""Structured supervisor event log — a bounded sink over the event bus.
 
 Every supervision decision — spawn, ready, dispatch, crash, heartbeat miss,
 lease expiry, re-queue, restart, eviction, quarantine, degradation — is
@@ -6,6 +6,13 @@ recorded as one dict with a wall-clock timestamp.  The chaos tests assert
 against these events, the service surfaces recent ones in its telemetry, and
 the CI chaos-smoke job uploads them as an artifact when a test fails, so a
 flaky supervision bug leaves a full trace behind.
+
+Since the structured event bus landed (:mod:`repro.obs`), the log doubles as
+a *publisher*: every record also lands on the bus's ``fleet`` topic, where
+the operations console and the metrics sink consume it live.  The bounded
+in-memory list stays — chaos tests assert against it synchronously — and its
+overflow count is surfaced in ``FleetSupervisor.health()`` as
+``events_dropped`` so silent event loss is visible.
 """
 
 from __future__ import annotations
@@ -18,13 +25,25 @@ from pathlib import Path
 
 
 class EventLog:
-    """A bounded, thread-safe, append-only list of supervision events."""
+    """A bounded, thread-safe, append-only list of supervision events.
 
-    def __init__(self, limit: int = 4096):
+    ``bus`` (a :class:`repro.obs.EventBus`) mirrors every record onto the
+    given ``topic``; publishing happens outside the log's lock and is a no-op
+    while the bus has no subscribers.
+    """
+
+    def __init__(self, limit: int = 4096, bus=None, topic: str = "fleet"):
         self.limit = limit
+        self.bus = bus
+        self.topic = topic
         self._events: list[dict] = []
         self._dropped = 0
         self._lock = threading.Lock()
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to the bounded in-memory window (never to the bus)."""
+        return self._dropped
 
     def record(self, event: str, **fields) -> dict:
         entry = {"t": round(time.time(), 4), "event": event, **fields}
@@ -34,6 +53,8 @@ class EventLog:
                 overflow = len(self._events) - self.limit
                 del self._events[:overflow]
                 self._dropped += overflow
+        if self.bus is not None and self.bus.active:
+            self.bus.publish(self.topic, event, **fields)
         return entry
 
     def events(self, kind: str | None = None) -> list[dict]:

@@ -131,9 +131,14 @@ class FleetSupervisor:
         config: FleetConfig | None = None,
         *,
         fault_injector: Callable[[WorkUnit, int], str | None] | None = None,
+        bus=None,
     ):
         self.config = config or FleetConfig()
-        self.events = EventLog()
+        if bus is None:
+            from repro.obs import get_bus
+
+            bus = get_bus()
+        self.events = EventLog(bus=bus)
         self._fault_injector = fault_injector
         self._workers: dict[int, _WorkerHandle] = {}
         self._jobs: dict[str, _JobState] = {}
@@ -273,6 +278,10 @@ class FleetSupervisor:
             "degraded": self._degraded,
             "pending_jobs": pending,
             "counters": counters,
+            # Supervision events lost to the bounded in-memory log; non-zero
+            # means chaos forensics have gaps (the bus subscribers may still
+            # have the full stream).
+            "events_dropped": self.events.dropped,
         }
 
     # ------------------------------------------------------------ pump thread

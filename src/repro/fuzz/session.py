@@ -20,6 +20,7 @@ from repro.fuzz.corpus import CorpusEntry, CorpusStore
 from repro.fuzz.differential import ConformanceReport, check_program, check_source
 from repro.fuzz.generate import GeneratedProgram, generate_program
 from repro.fuzz.shrink import count_significant_lines, shrink
+from repro.obs import get_bus
 from repro.toolchain.compiler import ChiselCompiler
 
 
@@ -119,12 +120,18 @@ def run_session(
     config: FuzzConfig,
     skip: int = 0,
     progress=None,
+    bus=None,
 ) -> SessionResult:
     """Run ``config.iterations`` programs starting at index ``skip``.
 
     ``progress`` is an optional callable invoked as ``progress(index, result)``
-    after each program (the CLI uses it for a live line).
+    after each program (the CLI uses it for a live line).  ``bus`` (default:
+    the process bus) receives one ``fuzz.program`` event per checked program
+    and one ``fuzz.finding`` event per failure, for the operations console and
+    the JSONL artifact uploaded on CI fuzz-job failure.
     """
+    if bus is None:
+        bus = get_bus()
     result = SessionResult(config=config)
     compiler = ChiselCompiler()
     store = CorpusStore(config.corpus_path) if config.corpus_path else None
@@ -136,6 +143,15 @@ def run_session(
             result.programs += 1
             result.checks += report.checks
             result.feature_counts.update(program.features)
+            if bus.active:
+                bus.publish(
+                    "fuzz.program",
+                    "checked",
+                    index=program.index,
+                    ok=report.ok,
+                    checks=report.checks,
+                    features=len(program.features),
+                )
 
             if not report.ok:
                 shrunk = program.source
@@ -153,6 +169,15 @@ def run_session(
                         shrunk = program.source
                 finding = FuzzFinding(program, report, shrunk)
                 result.findings.append(finding)
+                if bus.active:
+                    bus.publish(
+                        "fuzz.finding",
+                        "failure",
+                        index=program.index,
+                        kind=report.failures[0].kind,
+                        stage=report.failures[0].stage,
+                        repro=program.repro_line(),
+                    )
                 if store is not None:
                     store.add(
                         CorpusEntry(

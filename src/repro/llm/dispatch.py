@@ -235,11 +235,15 @@ class BatchingDispatcher:
         retry: RetryPolicy | None = None,
         retry_seed: int | None = None,
         request_timeout: float | None = None,
+        bus=None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if request_timeout is not None and request_timeout <= 0:
             raise ValueError("request_timeout must be > 0 or None")
+        # Optional structured event bus (repro.obs): batch flushes, retries
+        # and timeouts publish to it when subscribers are attached.
+        self.bus = bus
         self.default_client = default_client
         self.batch_window = batch_window
         self.max_batch = max_batch
@@ -359,6 +363,8 @@ class BatchingDispatcher:
         if self.rate_limiter is not None:
             await self.rate_limiter.acquire(len(batch))
         self.stats.record_batch(len(batch))
+        if self.bus is not None and self.bus.active:
+            self.bus.publish("llm.batch", "flush", size=len(batch))
         grouped = [request for request in batch if self._is_batchable(request)]
         singles = [request for request in batch if not self._is_batchable(request)]
         coros = []
@@ -409,10 +415,21 @@ class BatchingDispatcher:
                 attempt += 1
                 if attempt > self.retry.attempts:
                     self.stats.failures += 1
+                    if self.bus is not None and self.bus.active:
+                        self.bus.publish(
+                            "llm.retry", "exhausted", reason=type(exc).__name__
+                        )
                     if not request.future.done():
                         request.future.set_exception(exc)
                     return
                 self.stats.retries += 1
+                if self.bus is not None and self.bus.active:
+                    self.bus.publish(
+                        "llm.retry",
+                        "retry",
+                        attempt=attempt,
+                        reason="timeout" if timed_out else type(exc).__name__,
+                    )
                 await asyncio.sleep(self.retry.delay(attempt, self._rng))
 
     async def _complete_grouped(self, group: list[_Request]) -> None:

@@ -36,15 +36,17 @@ asserts this for all three strategies.
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence
 
-from repro.caching import LruCache
+from repro.caching import LruCache, cache_stats
 from repro.core.session import LLMCall, Session
 from repro.experiments.store import ResultStore
 from repro.experiments.strategies import strategy_from_unit
 from repro.experiments.work import WorkerContext, WorkUnit
 from repro.llm.dispatch import BatchingDispatcher, TokenBucket
+from repro.obs import EventBus, get_bus, span
 from repro.problems.registry import ProblemRegistry
 from repro.service.config import ServiceConfig
 from repro.service.telemetry import ServiceSnapshot, Telemetry
@@ -69,12 +71,21 @@ class _SimulationBatcher:
     batch-mates.
     """
 
-    def __init__(self, loop, executor, telemetry: Telemetry, window: float, max_batch: int):
+    def __init__(
+        self,
+        loop,
+        executor,
+        telemetry: Telemetry,
+        window: float,
+        max_batch: int,
+        bus: EventBus | None = None,
+    ):
         self._loop = loop
         self._executor = executor
         self._telemetry = telemetry
         self._window = window
         self._max_batch = max_batch
+        self._bus = bus
         self._pending: list[tuple[SimulateRequest, asyncio.Future]] = []
         self._timer: asyncio.TimerHandle | None = None
 
@@ -97,6 +108,8 @@ class _SimulationBatcher:
 
     async def _run(self, batch: list[tuple[SimulateRequest, asyncio.Future]]) -> None:
         self._telemetry.record_sim_batch(len(batch))
+        if self._bus is not None and self._bus.active:
+            self._bus.publish("sim.batch", "flush", size=len(batch))
         try:
             outcomes = await self._loop.run_in_executor(
                 self._executor, _SimulationBatcher._execute, [r for r, _ in batch]
@@ -172,8 +185,14 @@ class GenerationService:
         store: ResultStore | None = None,
         dispatcher: BatchingDispatcher | None = None,
         client_factory: Callable[[WorkUnit], object] | None = None,
+        bus: EventBus | None = None,
     ):
         self.config = config or ServiceConfig()
+        # The structured event bus this service publishes to (job lifecycle,
+        # session/LLM/tool/simulate spans, snapshots).  Publishing is a no-op
+        # until something subscribes, so it is always safe to leave attached.
+        self.bus = bus if bus is not None else get_bus()
+        self._last_stats_publish = 0.0
         self.context = context or WorkerContext(registry=registry)
         if store is None and self.config.store_path:
             store = ResultStore(self.config.store_path)
@@ -218,6 +237,7 @@ class GenerationService:
             retry=config.retry,
             retry_seed=0,
             request_timeout=config.request_timeout,
+            bus=self.bus,
         )
         if config.fleet_workers > 0 and self._fleet is None:
             from repro.fleet import FleetConfig, FleetSupervisor
@@ -225,7 +245,7 @@ class GenerationService:
             fleet_config = FleetConfig.from_environment(
                 FleetConfig(workers=config.fleet_workers)
             )
-            self._fleet = FleetSupervisor(fleet_config)
+            self._fleet = FleetSupervisor(fleet_config, bus=self.bus)
             self._fleet.start()
         self._queue = asyncio.Queue(maxsize=config.queue_limit)
         self._tools = ThreadPoolExecutor(
@@ -233,7 +253,12 @@ class GenerationService:
         )
         if config.sim_max_batch > 1:
             self._sim_batcher = _SimulationBatcher(
-                loop, self._tools, self.telemetry, config.sim_batch_window, config.sim_max_batch
+                loop,
+                self._tools,
+                self.telemetry,
+                config.sim_batch_window,
+                config.sim_max_batch,
+                bus=self.bus,
             )
         self._workers = [loop.create_task(self._worker()) for _ in range(config.max_in_flight)]
         return self
@@ -305,6 +330,15 @@ class GenerationService:
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self.telemetry.submitted += 1
+        if self.bus.active:
+            self.bus.publish(
+                "service.job",
+                "submitted",
+                problem=unit.problem_id,
+                strategy=unit.strategy,
+                model=unit.model,
+                sample=unit.sample,
+            )
         await self._queue.put((unit, future))
         return await future
 
@@ -338,6 +372,14 @@ class GenerationService:
                 raise
             except Exception as exc:
                 self.telemetry.failed += 1
+                if self.bus.active:
+                    self.bus.publish(
+                        "service.job",
+                        "failed",
+                        problem=unit.problem_id,
+                        strategy=unit.strategy,
+                        error=type(exc).__name__,
+                    )
                 if not future.done():
                     future.set_exception(exc)
             except BaseException:
@@ -350,6 +392,16 @@ class GenerationService:
                 raise
             else:
                 self.telemetry.completed += 1
+                if self.bus.active:
+                    self.bus.publish(
+                        "service.job",
+                        "completed",
+                        problem=unit.problem_id,
+                        strategy=unit.strategy,
+                        model=unit.model,
+                        sample=unit.sample,
+                    )
+                    self._publish_snapshot()
                 if not future.done():
                     future.set_result(payload)
             finally:
@@ -365,11 +417,13 @@ class GenerationService:
         payload = self._memo.get(fingerprint)
         if payload is not None:
             self.telemetry.memo_hits += 1
+            self._publish_cache_hit("memo", unit)
             return payload
         if self.store is not None:
             payload = self.store.get(fingerprint)
             if payload is not None:
                 self.telemetry.store_hits += 1
+                self._publish_cache_hit("store", unit)
                 self._memo.put(fingerprint, payload)
                 return payload
         pending = self._inflight.get(fingerprint)
@@ -377,6 +431,7 @@ class GenerationService:
             # The same spec is already executing: piggyback on its result
             # instead of spending duplicate LLM calls.
             self.telemetry.coalesced_hits += 1
+            self._publish_cache_hit("coalesced", unit)
             return await pending
 
         barrier: asyncio.Future = loop.create_future()
@@ -385,12 +440,21 @@ class GenerationService:
         self.telemetry.in_flight += 1
         started = loop.time()
         try:
-            if self._fleet is not None:
-                payload = await asyncio.wrap_future(self._fleet.submit(unit))
-            else:
-                client = self._client_factory(unit)
-                session = strategy_from_unit(unit).session(self.context, unit, client)
-                payload = await self._drive(session, client, unit.model)
+            with span(
+                "session",
+                bus=self.bus,
+                problem=unit.problem_id,
+                strategy=unit.strategy,
+                model=unit.model,
+                sample=unit.sample,
+                fingerprint=fingerprint[:12],
+            ):
+                if self._fleet is not None:
+                    payload = await asyncio.wrap_future(self._fleet.submit(unit))
+                else:
+                    client = self._client_factory(unit)
+                    session = strategy_from_unit(unit).session(self.context, unit, client)
+                    payload = await self._drive(session, client, unit.model)
         except BaseException as exc:
             if not barrier.done():
                 barrier.set_exception(exc)
@@ -407,25 +471,74 @@ class GenerationService:
         return payload
 
     async def _drive(self, session: Session, client, profile: str) -> dict:
-        """Answer a session's steps: LLM via the dispatcher, tools via the executor."""
+        """Answer a session's steps: LLM via the dispatcher, tools via the executor.
+
+        Each step runs inside a child span of the session span (``llm.<purpose>``
+        or ``tool.<purpose>``), so one session's timeline reconstructs into a
+        parent/child tree covering its LLM, tool and simulate steps.
+        """
         loop = asyncio.get_running_loop()
+        bus = self.bus
         try:
             step = next(session)
             while True:
                 self.telemetry.steps.record(step)
                 if isinstance(step, LLMCall):
-                    value = await self.dispatcher.complete(
-                        step.messages, client=client, profile=profile
-                    )
+                    with span("llm." + step.purpose, bus=bus):
+                        value = await self.dispatcher.complete(
+                            step.messages, client=client, profile=profile
+                        )
                 elif self._sim_batcher is not None and isinstance(
                     getattr(step, "batch", None), SimulateRequest
                 ):
-                    value = await self._sim_batcher.simulate(step.batch)
+                    with span("tool." + step.purpose, bus=bus, batched=True):
+                        value = await self._sim_batcher.simulate(step.batch)
                 else:
-                    value = await loop.run_in_executor(self._tools, step.run)
+                    with span("tool." + step.purpose, bus=bus):
+                        value = await loop.run_in_executor(self._tools, step.run)
                 step = session.send(value)
         except StopIteration as stop:
             return stop.value
+
+    # ------------------------------------------------------------- bus output
+
+    def _publish_cache_hit(self, tier: str, unit: WorkUnit) -> None:
+        if self.bus.active:
+            self.bus.publish(
+                "service.job",
+                "cache-hit",
+                tier=tier,
+                problem=unit.problem_id,
+                strategy=unit.strategy,
+                model=unit.model,
+                sample=unit.sample,
+            )
+
+    def _publish_snapshot(self) -> None:
+        """Emit ``service.snapshot`` + ``cache.stats`` (throttled) events.
+
+        Called after each completed job while subscribers are attached; the
+        cache-stats walk is throttled so a burst of completions costs one
+        registry scan per interval, not one per job.
+        """
+        bus = self.bus
+        bus.publish(
+            "service.snapshot",
+            "update",
+            queue_depth=self._queue.qsize() if self._queue is not None else 0,
+            in_flight=self.telemetry.in_flight,
+            submitted=self.telemetry.submitted,
+            completed=self.telemetry.completed,
+            failed=self.telemetry.failed,
+            llm_calls=self.telemetry.steps.llm_calls,
+            tool_calls=self.telemetry.steps.tool_calls,
+        )
+        now = time.monotonic()
+        if now - self._last_stats_publish >= 0.25:
+            self._last_stats_publish = now
+            bus.publish("cache.stats", "snapshot", caches=cache_stats())
+            if self._fleet is not None:
+                bus.publish("fleet", "health", **self._fleet.health())
 
 
 def serve_units(

@@ -16,12 +16,24 @@ from repro.core.session import StepCounts
 
 
 def percentile(samples: list[float], q: float) -> float:
-    """The ``q``-quantile (0..1) of ``samples`` by the nearest-rank method."""
+    """The ``q``-quantile (0..1) of ``samples``, linearly interpolated.
+
+    Matches numpy's default (``method='linear'``): the quantile position is
+    ``q * (n - 1)`` and values between ranks are interpolated, so small
+    reservoirs give smooth, deterministic estimates instead of the coarse
+    stair-steps of nearest-rank (with 4 samples, nearest-rank p50 and p75
+    were identical).
+    """
     if not samples:
         return 0.0
     ordered = sorted(samples)
-    rank = max(1, min(len(ordered), math.ceil(q * len(ordered))))
-    return ordered[rank - 1]
+    position = min(max(q, 0.0), 1.0) * (len(ordered) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return ordered[lower]
+    fraction = position - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
 
 
 @dataclass
@@ -40,6 +52,8 @@ class ServiceSnapshot:
     tool_calls: int
     p50_latency: float
     p95_latency: float
+    p99_latency: float = 0.0
+    max_latency: float = 0.0
     dispatcher: dict = field(default_factory=dict)
     # Toolchain cache counters (repro.caching.cache_stats()): parse,
     # elaborate, compile, pass-pipeline, emit, kernel and trace caches.
@@ -68,7 +82,12 @@ class ServiceSnapshot:
             ),
             f"llm calls        {self.llm_calls}",
             f"tool calls       {self.tool_calls}",
-            f"session latency  p50 {self.p50_latency * 1000:.1f} ms / p95 {self.p95_latency * 1000:.1f} ms",
+            (
+                f"session latency  p50 {self.p50_latency * 1000:.1f} ms / "
+                f"p95 {self.p95_latency * 1000:.1f} ms / "
+                f"p99 {self.p99_latency * 1000:.1f} ms / "
+                f"max {self.max_latency * 1000:.1f} ms"
+            ),
         ]
         if self.sim_batches:
             mean = self.sim_batched_requests / self.sim_batches
@@ -152,6 +171,8 @@ class Telemetry:
             tool_calls=self.steps.tool_calls,
             p50_latency=percentile(samples, 0.50),
             p95_latency=percentile(samples, 0.95),
+            p99_latency=percentile(samples, 0.99),
+            max_latency=max(samples) if samples else 0.0,
             dispatcher=dict(dispatcher_stats or {}),
             caches=cache_stats(),
             fleet=dict(fleet_health or {}),

@@ -1,0 +1,301 @@
+"""Tests for the structured event bus, tracing spans, transports and metrics."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.fleet.config import FleetConfig
+from repro.fleet.events import EventLog
+from repro.fleet.supervisor import FleetSupervisor
+from repro.obs import (
+    Event,
+    EventBus,
+    JsonlWriter,
+    MetricsRegistry,
+    MetricsSink,
+    SocketEventServer,
+    build_timeline,
+    current_span,
+    get_bus,
+    iter_socket_events,
+    parse_endpoint,
+    set_bus,
+    span,
+)
+
+
+class TestEventBus:
+    def test_publish_without_subscribers_is_a_noop(self):
+        bus = EventBus()
+        assert not bus.active
+        assert bus.publish("service.job", "completed", problem="alu") is None
+        assert bus.published == 0
+
+    def test_topic_prefixes_route_events(self):
+        bus = EventBus()
+        service = bus.subscribe("service")
+        everything = bus.subscribe()
+        trace = bus.subscribe(["trace", "fleet"])
+
+        bus.publish("service.job", "completed")
+        bus.publish("service.snapshot", "update")
+        bus.publish("trace", "span.start")
+        bus.publish("servicex", "decoy")  # prefix match is on dot boundaries
+
+        assert [e.topic for e in service.pop_all()] == ["service.job", "service.snapshot"]
+        assert [e.topic for e in everything.pop_all()] == [
+            "service.job", "service.snapshot", "trace", "servicex",
+        ]
+        assert [e.topic for e in trace.pop_all()] == ["trace"]
+
+    def test_events_carry_ordering_and_roundtrip_json(self):
+        bus = EventBus()
+        sub = bus.subscribe("t")
+        bus.publish("t", "one", n=1)
+        bus.publish("t", "two", n=2, label="x")
+        first, second = sub.pop_all()
+        assert second.seq > first.seq
+        decoded = Event.from_json(second.to_json())
+        assert decoded == second
+
+    def test_bounded_subscriber_drops_oldest_and_counts(self):
+        bus = EventBus()
+        sub = bus.subscribe("t", maxsize=4)
+        for index in range(10):
+            bus.publish("t", "tick", index=index)
+        assert sub.dropped == 6
+        kept = sub.pop_all()
+        assert [event.attrs["index"] for event in kept] == [6, 7, 8, 9]
+        stats = bus.stats()
+        assert stats["published"] == 10
+        assert stats["subscribers"][0]["dropped"] == 6
+
+    def test_unsubscribe_stops_delivery_and_invalidates_routes(self):
+        bus = EventBus()
+        sub = bus.subscribe("t")
+        bus.publish("t", "before")
+        bus.unsubscribe(sub)
+        assert bus.publish("t", "after") is None
+        assert [event.name for event in sub.pop_all()] == ["before"]
+
+    def test_get_blocks_until_event_or_timeout(self):
+        bus = EventBus()
+        sub = bus.subscribe("t")
+        assert sub.get(timeout=0.01) is None
+
+        def late_publish():
+            bus.publish("t", "late")
+
+        timer = threading.Timer(0.05, late_publish)
+        timer.start()
+        try:
+            event = sub.get(timeout=2.0)
+        finally:
+            timer.join()
+        assert event is not None and event.name == "late"
+
+    def test_global_bus_swap(self):
+        replacement = EventBus()
+        previous = set_bus(replacement)
+        try:
+            assert get_bus() is replacement
+        finally:
+            set_bus(previous)
+
+    def test_parse_endpoint(self):
+        assert parse_endpoint("localhost:9000") == ("localhost", 9000)
+        assert parse_endpoint(":9000") == ("127.0.0.1", 9000)
+        assert parse_endpoint("9000") == ("127.0.0.1", 9000)
+
+
+class TestSpans:
+    def test_nested_spans_reconstruct_into_a_tree(self):
+        bus = EventBus()
+        sub = bus.subscribe("trace")
+        with span("session", bus=bus, problem="alu_w4"):
+            with span("llm.generate", bus=bus):
+                pass
+            with span("tool.compile", bus=bus):
+                with span("tool.simulate", bus=bus):
+                    pass
+        roots = build_timeline(sub.pop_all())
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.name == "session"
+        assert root.attrs["problem"] == "alu_w4"
+        assert [child.name for child in root.children] == ["llm.generate", "tool.compile"]
+        assert [child.name for child in root.children[1].children] == ["tool.simulate"]
+        assert all(node.complete for node in [root] + root.children)
+        assert root.duration >= root.children[1].duration
+        assert len(root.find("tool.simulate")) == 1
+        assert "session" in root.render()
+
+    def test_span_records_error_on_exception(self):
+        bus = EventBus()
+        sub = bus.subscribe("trace")
+        with pytest.raises(ValueError):
+            with span("session", bus=bus):
+                raise ValueError("boom")
+        end = [e for e in sub.pop_all() if e.name == "span.end"][0]
+        assert end.attrs["error"] == "ValueError"
+
+    def test_spans_are_inert_without_subscribers(self):
+        bus = EventBus()
+        with span("session", bus=bus) as outer:
+            assert current_span() is None
+            assert outer.span_id == ""
+        assert bus.published == 0
+
+    def test_asyncio_tasks_get_independent_lineage(self):
+        bus = EventBus()
+        sub = bus.subscribe("trace")
+
+        async def session(name):
+            with span("session", bus=bus, who=name):
+                await asyncio.sleep(0)
+                with span("llm.generate", bus=bus):
+                    await asyncio.sleep(0)
+
+        async def main():
+            await asyncio.gather(session("a"), session("b"))
+
+        asyncio.run(main())
+        roots = build_timeline(sub.pop_all())
+        assert sorted(root.attrs["who"] for root in roots) == ["a", "b"]
+        for root in roots:
+            assert [child.name for child in root.children] == ["llm.generate"]
+            assert root.trace_id != ""
+        assert roots[0].trace_id != roots[1].trace_id
+
+    def test_timeline_tolerates_truncated_streams(self):
+        bus = EventBus()
+        sub = bus.subscribe("trace")
+        with span("outer", bus=bus):
+            with span("inner", bus=bus):
+                pass
+        events = sub.pop_all()
+        # Drop the outer start (ring-buffer loss): inner still reconstructs,
+        # outer shows up incomplete from its end event.
+        truncated = events[1:]
+        roots = build_timeline(truncated)
+        names = {root.name for root in roots}
+        assert "outer" in names
+
+
+class TestTransports:
+    def test_jsonl_writer_roundtrip(self, tmp_path):
+        bus = EventBus()
+        writer = JsonlWriter(bus, tmp_path / "events.jsonl", topics=["t"])
+        for index in range(5):
+            bus.publish("t", "tick", index=index)
+        writer.close()
+        lines = (tmp_path / "events.jsonl").read_text().strip().splitlines()
+        events = [Event.from_json(line) for line in lines]
+        assert [event.attrs["index"] for event in events] == [0, 1, 2, 3, 4]
+
+    def test_socket_transport_roundtrip(self):
+        bus = EventBus()
+        server = SocketEventServer(bus, port=0, topics=["t"])
+        received: list[Event] = []
+
+        def client():
+            host, port = server.address
+            for event in iter_socket_events(host, port, timeout=5.0):
+                received.append(event)
+                if len(received) == 3:
+                    return
+
+        thread = threading.Thread(target=client, daemon=True)
+        thread.start()
+        # Wait for the server to register the client's subscription.
+        for _ in range(200):
+            if bus.active:
+                break
+            threading.Event().wait(0.01)
+        assert bus.active, "socket client never subscribed"
+        for index in range(3):
+            bus.publish("t", "tick", index=index)
+        thread.join(timeout=10.0)
+        server.close()
+        assert [event.attrs["index"] for event in received] == [0, 1, 2]
+        assert all(event.topic == "t" for event in received)
+
+
+class TestMetrics:
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_jobs_total", "jobs").inc(state="done")
+        registry.counter("repro_jobs_total").inc(state="done")
+        registry.gauge("repro_queue_depth", "depth").set(7)
+        histogram = registry.histogram("repro_latency_seconds", "lat", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        text = registry.render()
+        assert '# TYPE repro_jobs_total counter' in text
+        assert 'repro_jobs_total{state="done"} 2' in text
+        assert 'repro_queue_depth 7' in text
+        assert 'repro_latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_latency_seconds_bucket{le="1"} 2' in text
+        assert 'repro_latency_seconds_bucket{le="+Inf"} 3' in text
+        assert 'repro_latency_seconds_count 3' in text
+        assert registry.histogram("repro_latency_seconds").count() == 3
+
+    def test_metric_name_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_thing")
+        with pytest.raises(TypeError):
+            registry.gauge("repro_thing")
+
+    def test_sink_derives_metrics_from_events(self):
+        bus = EventBus()
+        sink = MetricsSink().attach(bus)
+        bus.publish("service.job", "completed")
+        bus.publish("service.job", "completed")
+        bus.publish("service.job", "cache-hit", tier="memo")
+        bus.publish("service.snapshot", "update", queue_depth=3, in_flight=2)
+        bus.publish("trace", "span.end", span="s", parent="", trace="t",
+                    op="tool.simulate", duration=0.02)
+        bus.publish("llm.batch", "flush", size=4)
+        bus.publish("llm.retry", "retry", attempt=1, reason="timeout")
+        bus.publish("cache.stats", "snapshot", caches={"sim_kernel": {"hits": 9, "misses": 1}})
+        bus.publish("fleet", "spawn", slot=0)
+        bus.publish("fuzz.program", "checked", index=0, ok=True)
+        consumed = sink.pump()
+        assert consumed == 10
+        registry = sink.registry
+        assert registry.counter("repro_service_jobs_total").value(state="completed") == 2
+        assert registry.counter("repro_service_cache_hits_total").value(tier="memo") == 1
+        assert registry.gauge("repro_service_queue_depth").value() == 3
+        assert registry.histogram("repro_span_seconds").count(op="tool.simulate") == 1
+        assert registry.counter("repro_llm_retries_total").value(reason="timeout") == 1
+        assert registry.gauge("repro_cache_hits").value(cache="sim_kernel") == 9
+        assert registry.counter("repro_fuzz_programs_total").value(ok="true") == 1
+        sink.detach()
+
+
+class TestFleetEventBridge:
+    def test_eventlog_mirrors_records_onto_the_bus(self):
+        bus = EventBus()
+        sub = bus.subscribe("fleet")
+        log = EventLog(limit=2, bus=bus)
+        log.record("spawn", slot=0)
+        log.record("ready", slot=0, pid=123)
+        log.record("dispatch", job="j-1", slot=0)
+        # In-memory window is bounded, the bus saw everything.
+        assert [entry["event"] for entry in log.events()] == ["ready", "dispatch"]
+        assert log.dropped == 1
+        published = sub.pop_all()
+        assert [event.name for event in published] == ["spawn", "ready", "dispatch"]
+        assert published[1].attrs == {"slot": 0, "pid": 123}
+
+    def test_supervisor_health_reports_event_drops(self):
+        bus = EventBus()
+        supervisor = FleetSupervisor(FleetConfig(workers=1), bus=bus)
+        health = supervisor.health()
+        assert health["events_dropped"] == 0
+        supervisor.events.limit = 1
+        supervisor.events.record("spawn", slot=0)
+        supervisor.events.record("ready", slot=0)
+        assert supervisor.health()["events_dropped"] == 1

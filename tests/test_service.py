@@ -235,18 +235,26 @@ class TestTelemetry:
         _, snapshot = serve_units(units, ServiceConfig(max_in_flight=4))
         assert snapshot.llm_calls > 0
         assert snapshot.tool_calls > 0
+        assert snapshot.max_latency >= snapshot.p99_latency >= snapshot.p95_latency
         assert snapshot.p95_latency >= snapshot.p50_latency >= 0.0
         assert snapshot.dispatcher["requests"] == snapshot.llm_calls
-        assert "session latency" in snapshot.render()
+        rendered = snapshot.render()
+        assert "session latency" in rendered
+        assert "p99" in rendered and "max" in rendered
 
-    def test_percentile_nearest_rank(self):
+    def test_percentile_linear_interpolation(self):
         samples = [0.1, 0.2, 0.3, 0.4]
-        assert percentile(samples, 0.5) == 0.2
-        assert percentile(samples, 0.95) == 0.4
+        assert percentile(samples, 0.5) == pytest.approx(0.25)
+        assert percentile(samples, 0.95) == pytest.approx(0.385)
         assert percentile([], 0.5) == 0.0
-        # Nearest-rank on an exact-integer rank picks that rank, not the next.
-        assert percentile([1.0, 2.0], 0.5) == 1.0
-        assert percentile(list(range(1, 101)), 0.95) == 95
+        # Two samples: the median interpolates halfway between them instead of
+        # collapsing onto the lower one like nearest-rank did.
+        assert percentile([1.0, 2.0], 0.5) == pytest.approx(1.5)
+        assert percentile(list(range(1, 101)), 0.95) == pytest.approx(95.05)
+        # Exact-rank positions are returned verbatim, extremes clamp.
+        assert percentile(samples, 0.0) == 0.1
+        assert percentile(samples, 1.0) == 0.4
+        assert percentile([7.0], 0.99) == 7.0
 
 
 class TestDispatcher:
