@@ -14,9 +14,10 @@ sweep-engine throughput (quick-scale Table I sweep: serial vs parallel
 executors, cold vs warm result store), the supervised generation fleet
 (warm-fleet throughput vs the serial baseline, O(1) result-store lookups),
 the generation-service throughput
-(serial latency baseline vs concurrency-32 service vs warm result cache) and
+(serial latency baseline vs concurrency-32 service vs warm result cache),
 the differential-fuzzing engine (generated programs conformance-checked per
-second).
+second) and the campaign orchestrator (cold end-to-end campaign, warm
+zero-replay resume and per-checkpoint manifest cost).
 The output is pytest-benchmark's JSON
 format (one entry per benchmark with min/mean/stddev/rounds), written to
 ``BENCH_toolchain.json`` at the repo root by default.  Commit-over-commit
@@ -99,6 +100,7 @@ def main(argv: list[str]) -> int:
             os.path.join(root, "benchmarks", "test_fleet_throughput.py"),
             os.path.join(root, "benchmarks", "test_service_throughput.py"),
             os.path.join(root, "benchmarks", "test_fuzz_throughput.py"),
+            os.path.join(root, "benchmarks", "test_campaign_throughput.py"),
             os.path.join(root, "benchmarks", "test_events_overhead.py"),
             "--benchmark-only",
             f"--benchmark-json={output}",

@@ -1,0 +1,133 @@
+"""Configuration for the campaign orchestrator.
+
+Every knob is also settable from the environment (``REPRO_CAMPAIGN_*``) so
+long-running deployments tune campaigns without code changes; see
+EXPERIMENTS.md for the catalogue.  The circuit breaker around the LLM path
+is configured separately through ``REPRO_BREAKER_*``
+(:meth:`repro.retry.CircuitBreaker.from_environment`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.experiments.config import RESULT_STORE_ENV, _DISABLED_STORE_VALUES
+from repro.retry import BackoffPolicy
+
+STORE_ENV = "REPRO_CAMPAIGN_STORE"
+CHUNK_ENV = "REPRO_CAMPAIGN_CHUNK"
+DEADLINE_ENV = "REPRO_CAMPAIGN_DEADLINE"
+LLM_BUDGET_ENV = "REPRO_CAMPAIGN_LLM_BUDGET"
+RETRIES_ENV = "REPRO_CAMPAIGN_RETRIES"
+CHECKPOINT_EVERY_ENV = "REPRO_CAMPAIGN_CHECKPOINT_EVERY"
+PREEMPT_WAIT_ENV = "REPRO_CAMPAIGN_PREEMPT_WAIT"
+THROTTLE_ENV = "REPRO_CAMPAIGN_THROTTLE"
+FLEET_ENV = "REPRO_CAMPAIGN_FLEET"
+
+
+def _env_float(name: str) -> float | None:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from None
+
+
+def _env_int(name: str) -> int | None:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs of one :class:`~repro.campaign.orchestrator.CampaignOrchestrator`.
+
+    ``store_path`` locates the campaign's segmented
+    :class:`~repro.experiments.store.ResultStore` — unit results, stage
+    frontiers and manifest checkpoints all persist there, which is what makes
+    a SIGKILLed campaign resumable.  ``chunk_size`` is the preemption /
+    checkpoint granularity: the orchestrator runs units through the engine in
+    chunks of this many, yielding to interactive traffic and re-evaluating
+    deadline/budget/drain between chunks (``chunk_size=1`` preempts at true
+    work-unit granularity).
+
+    ``deadline`` bounds the run's wall clock in seconds (``None`` = no
+    bound); ``llm_budget`` bounds LLM completions the campaign may spend
+    across *all* resumes (``None`` = unbounded) — spend is checkpointed, so a
+    resumed campaign keeps paying from the same purse.  ``unit_retries``
+    bounds chunk-level retries after transport-classified failures, cooled
+    down by ``retry_backoff``.  ``throttle`` sleeps that many seconds between
+    chunks (chaos tests use it to widen kill windows); ``fleet`` > 0 executes
+    chunks on a supervised worker fleet of that size, degrading to inline
+    execution if the fleet fails.
+    """
+
+    store_path: str | None = None
+    chunk_size: int = 4
+    deadline: float | None = None
+    llm_budget: int | None = None
+    unit_retries: int = 2
+    retry_backoff: BackoffPolicy = BackoffPolicy(base=0.05, cap=1.0)
+    checkpoint_every: int = 1
+    preempt_wait: float = 5.0
+    throttle: float = 0.0
+    fleet: int = 0
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be > 0 or None")
+        if self.llm_budget is not None and self.llm_budget < 0:
+            raise ValueError("llm_budget must be >= 0 or None")
+        if self.unit_retries < 0:
+            raise ValueError("unit_retries must be >= 0")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.preempt_wait < 0:
+            raise ValueError("preempt_wait must be >= 0")
+        if self.fleet < 0:
+            raise ValueError("fleet must be >= 0")
+
+    @classmethod
+    def from_environment(cls, base: "CampaignConfig | None" = None) -> "CampaignConfig":
+        config = base or cls()
+        chunk = _env_int(CHUNK_ENV)
+        if chunk is not None:
+            config.chunk_size = max(1, chunk)
+        deadline = _env_float(DEADLINE_ENV)
+        if deadline is not None:
+            config.deadline = deadline if deadline > 0 else None
+        budget = _env_int(LLM_BUDGET_ENV)
+        if budget is not None:
+            config.llm_budget = budget if budget >= 0 else None
+        retries = _env_int(RETRIES_ENV)
+        if retries is not None:
+            config.unit_retries = max(0, retries)
+        checkpoint_every = _env_int(CHECKPOINT_EVERY_ENV)
+        if checkpoint_every is not None:
+            config.checkpoint_every = max(1, checkpoint_every)
+        preempt_wait = _env_float(PREEMPT_WAIT_ENV)
+        if preempt_wait is not None:
+            config.preempt_wait = max(0.0, preempt_wait)
+        throttle = _env_float(THROTTLE_ENV)
+        if throttle is not None:
+            config.throttle = max(0.0, throttle)
+        fleet = _env_int(FLEET_ENV)
+        if fleet is not None:
+            config.fleet = max(0, fleet)
+        if config.store_path is None:
+            raw = os.environ.get(STORE_ENV, "").strip()
+            if not raw:
+                raw = os.environ.get(RESULT_STORE_ENV, "").strip()
+            if raw and raw.lower() not in _DISABLED_STORE_VALUES:
+                config.store_path = raw
+        return config

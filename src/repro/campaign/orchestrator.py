@@ -1,0 +1,509 @@
+"""The fault-tolerant campaign orchestrator.
+
+A campaign composes stages (generate → verify → fuzz → benchmark) over the
+existing sweep machinery and runs them **crash-only**: every completed work
+unit is durable in the segmented result store the moment it finishes, the
+campaign manifest checkpoints as versioned meta records in the same store,
+and the orchestrator may be SIGKILLed at any instant — ``--resume`` (or
+simply re-running the same spec against the same store) replays zero
+completed units and converges to results bit-identical to an uninterrupted
+run.  The chaos matrix in ``tests/test_campaign_chaos.py`` asserts exactly
+that for LLM-transport, store, event-bus, fleet and orchestrator faults.
+
+Control is cooperative throughout.  Between every chunk of work units the
+orchestrator re-evaluates the world:
+
+* **preemption** — if the process-wide :class:`PriorityGate` shows
+  interactive service traffic in flight, the campaign parks until the gate
+  clears (bounded by ``preempt_wait`` so a saturated service cannot starve
+  it);
+* **deadline / budget** — wall-clock deadlines raise at the next check;
+  LLM-call budgets are charged inside the session's metered client (and by
+  the batching dispatcher on the service path), so an exhausted purse stops
+  the campaign mid-stage with everything already completed safely persisted;
+* **circuit breaking** — transport-classified failures feed a shared
+  :class:`~repro.retry.CircuitBreaker`; while it is open the campaign waits
+  out the cooldown instead of hammering a failing provider, and half-open
+  probes close it on recovery;
+* **drain** — SIGTERM (or :meth:`request_drain`) sets the cancel token; the
+  campaign finishes its current chunk, checkpoints a ``drained`` manifest
+  and exits cleanly;
+* **degradation** — a failing fleet executor degrades to inline serial
+  execution (fleet → inline) rather than failing the campaign, mirroring
+  the simulator's vector → trace → stepwise backend fallback.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.campaign.budget import (
+    Budget,
+    BudgetExceeded,
+    CampaignCancelled,
+    CancelToken,
+    Deadline,
+    DeadlineExceeded,
+    MeteredClient,
+)
+from repro.campaign.checkpoint import CheckpointLog, ResilientStore
+from repro.campaign.config import CampaignConfig
+from repro.campaign.scheduler import PriorityGate, get_priority_gate
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.stages import STAGE_RUNNERS
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.engine import SweepEngine
+from repro.experiments.executors import SerialExecutor
+from repro.experiments.store import ResultStore
+from repro.experiments.work import WorkerContext
+from repro.obs import get_bus
+from repro.retry import CircuitBreaker, emit_retry, is_transport_fault
+
+#: Campaign / stage status values (persisted in manifests).
+RUNNING = "running"
+COMPLETE = "complete"
+DRAINED = "drained"
+FAILED = "failed"
+STOPPED_DEADLINE = "deadline-exceeded"
+STOPPED_BUDGET = "budget-exhausted"
+
+
+class _CampaignContext(WorkerContext):
+    """A worker context whose clients are metered (budget/deadline) and may
+    be wrapped by chaos middleware — the campaign's seam into every session."""
+
+    def __init__(
+        self,
+        budget: Budget | None,
+        deadline: Deadline | None,
+        client_middleware=None,
+        registry=None,
+    ):
+        super().__init__(registry=registry)
+        self._budget = budget
+        self._deadline = deadline
+        self._middleware = client_middleware
+
+    def client_for(self, unit):
+        client = MeteredClient(super().client_for(unit), self._budget, self._deadline)
+        if self._middleware is not None:
+            # Middleware wraps *outside* the meter: an injected transport
+            # fault raises before the budget is charged or the inner client's
+            # RNG advances, so retries stay bit-identical and spend-identical.
+            client = self._middleware(client, unit)
+        return client
+
+
+@dataclass
+class StageState:
+    """Per-stage progress as persisted in the manifest."""
+
+    name: str
+    kind: str
+    status: str = "pending"
+    result: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "kind": self.kind, "status": self.status, "result": self.result}
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "StageState":
+        return cls(
+            name=str(document["name"]),
+            kind=str(document["kind"]),
+            status=str(document.get("status", "pending")),
+            result=dict(document.get("result", {})),
+        )
+
+
+@dataclass
+class CampaignResult:
+    """What one orchestrator run (fresh or resumed) produced."""
+
+    campaign_id: str
+    status: str
+    stages: list[dict]
+    #: Units actually executed / satisfied from memo+store *by this run* —
+    #: the zero-replay evidence the resume tests assert on (per-stage numbers
+    #: are historical: a reused stage reports what its original run did).
+    executed: int = 0
+    reused: int = 0
+    llm_spent: int = 0
+    llm_limit: int | None = None
+    preemptions: int = 0
+    breaker: dict = field(default_factory=dict)
+    checkpoint_seq: int = 0
+    resumed: bool = False
+    error: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "campaign": self.campaign_id,
+            "status": self.status,
+            "stages": self.stages,
+            "executed": self.executed,
+            "reused": self.reused,
+            "llm_spent": self.llm_spent,
+            "llm_limit": self.llm_limit,
+            "preemptions": self.preemptions,
+            "breaker": self.breaker,
+            "checkpoint_seq": self.checkpoint_seq,
+            "resumed": self.resumed,
+            "error": self.error,
+        }
+
+    def stage(self, name: str) -> dict:
+        for stage in self.stages:
+            if stage["name"] == name:
+                return stage
+        raise KeyError(name)
+
+
+class StageRuntime:
+    """The narrow world surface handed to stage runners."""
+
+    def __init__(self, orchestrator: "CampaignOrchestrator"):
+        self._orch = orchestrator
+
+    @property
+    def spec(self) -> CampaignSpec:
+        return self._orch.spec
+
+    @property
+    def campaign_id(self) -> str:
+        return self._orch.campaign_id
+
+    @property
+    def engine(self) -> SweepEngine:
+        return self._orch.engine
+
+    @property
+    def store(self):
+        return self._orch.store
+
+    def chunks(self, units):
+        size = self._orch.config.chunk_size
+        for start in range(0, len(units), size):
+            yield units[start : start + size]
+
+    def run_chunk(self, stage_name: str, units) -> list[dict]:
+        return self._orch._run_chunk(stage_name, units)
+
+    def tick(self, stage_name: str) -> None:
+        self._orch._tick(stage_name)
+
+    def publish_progress(self, stage_name: str, done: int, total: int) -> None:
+        self._orch._publish("progress", stage=stage_name, done=done, total=total)
+
+
+class CampaignOrchestrator:
+    """Run one :class:`CampaignSpec` to completion, drain or checkpointed stop."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        config: CampaignConfig | None = None,
+        *,
+        store=None,
+        registry=None,
+        executor=None,
+        bus=None,
+        gate: PriorityGate | None = None,
+        breaker: CircuitBreaker | None = None,
+        client_middleware=None,
+        store_wrapper=ResilientStore,
+    ):
+        self.spec = spec
+        self.config = config or CampaignConfig()
+        self.campaign_id = spec.campaign_id
+        self.bus = bus if bus is not None else get_bus()
+        self.gate = gate if gate is not None else get_priority_gate()
+        self._owns_store = store is None
+        if store is None:
+            if not self.config.store_path:
+                raise ValueError(
+                    "campaigns need a persistent store: set CampaignConfig.store_path "
+                    "or REPRO_CAMPAIGN_STORE"
+                )
+            store = ResultStore(self.config.store_path)
+        # Campaigns ride out transient disk faults by default: failed puts
+        # buffer in memory and land as soon as the fault clears.
+        self.store = store_wrapper(store) if store_wrapper is not None else store
+        self.checkpoints = CheckpointLog(self.store, self.campaign_id)
+        self.breaker = (
+            breaker
+            if breaker is not None
+            else CircuitBreaker.from_environment(name="llm", bus=self.bus)
+        )
+
+        manifest = self.checkpoints.load_latest()
+        self._resumed = manifest is not None
+        spent = int(manifest.get("llm_spent", 0)) if manifest else 0
+        self.budget = Budget(self.config.llm_budget, spent=spent)
+        self.deadline = Deadline(self.config.deadline)
+        self.cancel = CancelToken()
+        self.preemptions = int(manifest.get("preemptions", 0)) if manifest else 0
+        self._chunks_run = 0
+        self._degraded = False
+        self._status = str(manifest.get("status", RUNNING)) if manifest else RUNNING
+        self._stages: dict[str, StageState] = {}
+        recorded = {
+            entry["name"]: StageState.from_dict(entry)
+            for entry in (manifest.get("stages", []) if manifest else [])
+        }
+        for stage in spec.stages:
+            self._stages[stage.name] = recorded.get(
+                stage.name, StageState(stage.name, stage.kind)
+            )
+            # A stage mid-flight when the previous run died resumes from its
+            # store frontier; only "complete" survives as a terminal state.
+            if self._stages[stage.name].status != COMPLETE:
+                self._stages[stage.name].status = "pending"
+
+        self._context = _CampaignContext(
+            self.budget, self.deadline, client_middleware, registry=registry
+        )
+        self._serial = SerialExecutor(self._context)
+        if executor is not None:
+            self._executor = executor
+        elif self.config.fleet > 0:
+            from repro.fleet import FleetConfig, FleetExecutor
+
+            self._executor = FleetExecutor(
+                FleetConfig.from_environment(FleetConfig(workers=self.config.fleet))
+            )
+        else:
+            self._executor = self._serial
+        self.engine = SweepEngine(
+            ExperimentConfig(store_path=None),
+            registry=registry,
+            store=self.store,
+            executor=self._executor,
+            bus=self.bus,
+        )
+
+    # ----------------------------------------------------------------- control
+
+    def request_drain(self, reason: str = "drain-requested") -> None:
+        """Cooperatively stop: checkpoint after the current chunk and exit.
+
+        Safe to call from signal handlers and other threads.
+        """
+        self._publish("drain", reason=reason)
+        self.cancel.set(reason)
+
+    # -------------------------------------------------------------------- run
+
+    def run(self) -> CampaignResult:
+        self._publish("start", resumed=self._resumed, stages=len(self.spec.stages))
+        runtime = StageRuntime(self)
+        status = COMPLETE
+        error = ""
+        try:
+            if self._status == COMPLETE:
+                # Whole campaign already finished in a previous run: nothing
+                # to execute, report the recorded stages verbatim.
+                return self._finish(COMPLETE)
+            self._status = RUNNING
+            self._save_checkpoint()
+            for stage in self.spec.stages:
+                state = self._stages[stage.name]
+                if state.status == COMPLETE:
+                    self._publish("stage", stage=stage.name, status="reused")
+                    continue
+                state.status = RUNNING
+                self._publish("stage", stage=stage.name, status=RUNNING)
+                self._save_checkpoint()
+                state.result = STAGE_RUNNERS[stage.kind](runtime, stage)
+                state.status = COMPLETE
+                self._publish("stage", stage=stage.name, status=COMPLETE)
+                self._save_checkpoint()
+        except CampaignCancelled as exc:
+            status, error = DRAINED, str(exc)
+        except DeadlineExceeded as exc:
+            status, error = STOPPED_DEADLINE, str(exc)
+        except BudgetExceeded as exc:
+            status, error = STOPPED_BUDGET, str(exc)
+        except Exception as exc:
+            status, error = FAILED, f"{type(exc).__name__}: {exc}"
+            self._finish(status, error)
+            raise
+        return self._finish(status, error)
+
+    def _finish(self, status: str, error: str = "") -> CampaignResult:
+        for state in self._stages.values():
+            if state.status == RUNNING:
+                state.status = "pending"  # resumes from the frontier next run
+        self._status = status
+        self._save_checkpoint(status=status, error=error)
+        self._publish("complete", status=status)
+        result = self._result(status, error)
+        self.close()
+        return result
+
+    def close(self) -> None:
+        self.engine.close()
+        if self._executor is not self._serial and hasattr(self._executor, "shutdown"):
+            self._executor.shutdown()
+        if hasattr(self.store, "flush"):
+            self.store.flush()
+        if self._owns_store:
+            self.store.close()
+
+    def _result(self, status: str, error: str = "") -> CampaignResult:
+        return CampaignResult(
+            campaign_id=self.campaign_id,
+            status=status,
+            stages=[self._stages[stage.name].to_dict() for stage in self.spec.stages],
+            executed=self.engine.stats.executed,
+            reused=self.engine.stats.memo_hits + self.engine.stats.store_hits,
+            llm_spent=self.budget.spent,
+            llm_limit=self.budget.limit,
+            preemptions=self.preemptions,
+            breaker=self.breaker.snapshot() if self.breaker is not None else {},
+            checkpoint_seq=self.checkpoints.seq,
+            resumed=self._resumed,
+            error=error,
+        )
+
+    # -------------------------------------------------------------- chunk loop
+
+    def _run_chunk(self, stage_name: str, units) -> list[dict]:
+        attempt = 0
+        while True:
+            self._tick(stage_name)
+            self._wait_for_breaker()
+            try:
+                payloads = self.engine.run(units)
+            except (BudgetExceeded, DeadlineExceeded, CampaignCancelled):
+                raise
+            except Exception as exc:
+                if is_transport_fault(exc) and self.breaker is not None:
+                    self.breaker.record_failure()
+                if self._maybe_degrade(exc):
+                    continue
+                attempt += 1
+                if attempt > self.config.unit_retries or not is_transport_fault(exc):
+                    raise
+                delay = self.config.retry_backoff.delay(attempt)
+                emit_retry(self.bus, "campaign", attempt, type(exc).__name__, delay)
+                self.cancel.wait(delay)
+            else:
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                self._chunks_run += 1
+                if self._chunks_run % self.config.checkpoint_every == 0:
+                    self._save_checkpoint()
+                return payloads
+
+    def _maybe_degrade(self, exc: Exception) -> bool:
+        """Fleet → inline degradation: swap the failing fleet executor for the
+        in-process serial path and retry the chunk (completed units are store
+        hits, so nothing replays)."""
+        if self._degraded or self._executor is self._serial:
+            return False
+        self._degraded = True
+        self._publish(
+            "degrade",
+            source=type(self._executor).__name__,
+            target="SerialExecutor",
+            reason=type(exc).__name__,
+        )
+        if hasattr(self._executor, "shutdown"):
+            try:
+                self._executor.shutdown()
+            except Exception:
+                pass
+        self._executor = self._serial
+        self.engine._executor = self._serial
+        return True
+
+    def _wait_for_breaker(self) -> None:
+        """Park while the circuit breaker is open (deadline/drain aware)."""
+        if self.breaker is None:
+            return
+        while not self.breaker.allow():
+            self.cancel.check()
+            self.deadline.check()
+            self.cancel.wait(min(0.02, max(self.breaker.cooldown, 0.001)))
+
+    def _tick(self, stage_name: str) -> None:
+        """The cooperative checkpoint between work chunks."""
+        self.cancel.check()
+        self.deadline.check()
+        if self.gate.busy:
+            # Interactive service traffic has priority: park until the gate
+            # clears, but never unboundedly (a saturated service must not
+            # starve the campaign outright).
+            self.preemptions += 1
+            self._publish("preempt", stage=stage_name, active=self.gate.active)
+            waited = 0.0
+            while self.gate.busy and waited < self.config.preempt_wait:
+                self.cancel.check()
+                self.deadline.check()
+                self.gate.wait_until_clear(timeout=0.05)
+                waited += 0.05
+        if self.config.throttle > 0:
+            self.cancel.wait(self.config.throttle)
+
+    # ------------------------------------------------------------- persistence
+
+    def _save_checkpoint(self, status: str | None = None, error: str = "") -> None:
+        manifest = {
+            "campaign": self.campaign_id,
+            "spec": self.spec.to_dict(),
+            "status": status or self._status,
+            "stages": [state.to_dict() for state in self._stages.values()],
+            "llm_spent": self.budget.spent,
+            "llm_limit": self.budget.limit,
+            "preemptions": self.preemptions,
+            "error": error,
+        }
+        seq = self.checkpoints.save(manifest)
+        if hasattr(self.store, "flush"):
+            self.store.flush()
+        self._publish("checkpoint", seq=seq, status=manifest["status"])
+        self._publish(
+            "budget",
+            spent=self.budget.spent,
+            limit=self.budget.limit,
+            remaining=self.budget.remaining(),
+            deadline_remaining=(
+                round(self.deadline.remaining(), 3)
+                if self.deadline.remaining() is not None
+                else None
+            ),
+        )
+
+    # -------------------------------------------------------------------- bus
+
+    def _publish(self, name: str, **attrs) -> None:
+        if self.bus.active:
+            self.bus.publish("campaign", name, campaign=self.campaign_id, **attrs)
+
+    # ------------------------------------------------------------------ resume
+
+    @classmethod
+    def resume(
+        cls,
+        campaign_id: str,
+        config: CampaignConfig,
+        **kwargs,
+    ) -> "CampaignOrchestrator":
+        """Rebuild an orchestrator from a checkpointed manifest by id."""
+        if not config.store_path:
+            raise ValueError("resume needs CampaignConfig.store_path")
+        store = ResultStore(config.store_path)
+        try:
+            manifest = CheckpointLog(store, campaign_id).load_latest()
+        finally:
+            store.close()
+        if manifest is None:
+            raise KeyError(f"no checkpointed campaign {campaign_id!r} in {config.store_path}")
+        spec = CampaignSpec.from_dict(manifest["spec"])
+        if spec.campaign_id != campaign_id:
+            raise ValueError(
+                f"manifest spec hashes to {spec.campaign_id}, not {campaign_id}"
+            )
+        return cls(spec, config, **kwargs)

@@ -1,0 +1,111 @@
+"""Priority scheduling: interactive traffic preempts background campaigns.
+
+The :class:`PriorityGate` is a process-wide counter of in-flight
+*interactive* work (generation-service job executions).  Background
+campaigns poll it between work-unit chunks: while interactive jobs are
+running, the campaign parks — so a user-facing request never queues behind a
+batch sweep — and resumes the moment the gate clears (or after a bounded
+wait, so a saturated service cannot starve campaigns forever).
+
+The gate is deliberately tiny and dependency-free: the service marks
+interactive sections with :meth:`interactive` (a context manager safe from
+asyncio code — marking is counter arithmetic, never blocking), and the
+campaign side does the waiting.  One process-wide default gate mirrors the
+``get_bus``/``set_bus`` idiom of :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+
+class PriorityGate:
+    """Counts in-flight interactive jobs; campaigns wait for zero."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._clear = threading.Event()
+        self._clear.set()
+        self._active = 0
+        self._marks = 0
+
+    # ------------------------------------------------- interactive (producers)
+
+    def interactive_begin(self) -> None:
+        with self._lock:
+            self._active += 1
+            self._marks += 1
+            self._clear.clear()
+
+    def interactive_end(self) -> None:
+        with self._lock:
+            self._active = max(0, self._active - 1)
+            if self._active == 0:
+                self._clear.set()
+
+    @contextmanager
+    def interactive(self):
+        self.interactive_begin()
+        try:
+            yield self
+        finally:
+            self.interactive_end()
+
+    # --------------------------------------------------- background (waiters)
+
+    @property
+    def busy(self) -> bool:
+        return not self._clear.is_set()
+
+    @property
+    def active(self) -> int:
+        with self._lock:
+            return self._active
+
+    @property
+    def marks(self) -> int:
+        """Total interactive sections ever opened (test observability)."""
+        with self._lock:
+            return self._marks
+
+    def wait_until_clear(self, timeout: float | None = None, tick: float = 0.005) -> bool:
+        """Block until no interactive work is in flight.
+
+        Returns ``True`` if the gate cleared, ``False`` on timeout — the
+        bounded wait is what keeps a saturated service from starving
+        background campaigns outright.  ``tick`` bounds the wait granularity
+        so a cleared-then-immediately-reopened gate is still observed.
+        """
+        if not self.busy:
+            return True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self.busy:
+            remaining = tick if deadline is None else min(tick, deadline - time.monotonic())
+            if remaining <= 0:
+                return not self.busy
+            self._clear.wait(remaining)
+        return True
+
+
+_gate_lock = threading.Lock()
+_gate: PriorityGate | None = None
+
+
+def get_priority_gate() -> PriorityGate:
+    """The process-wide gate shared by services and campaigns."""
+    global _gate
+    with _gate_lock:
+        if _gate is None:
+            _gate = PriorityGate()
+        return _gate
+
+
+def set_priority_gate(gate: PriorityGate | None) -> PriorityGate | None:
+    """Swap the process-wide gate (tests); returns the previous one."""
+    global _gate
+    with _gate_lock:
+        previous = _gate
+        _gate = gate
+        return previous

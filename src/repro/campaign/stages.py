@@ -1,0 +1,191 @@
+"""Stage runners: how each campaign stage kind executes and checkpoints.
+
+Each runner is a function ``(runtime, stage) -> dict`` where ``runtime`` is
+the orchestrator's :class:`~repro.campaign.orchestrator.StageRuntime` — the
+narrow surface through which stages touch the world.  Runners never sleep,
+trap signals or retry transport faults themselves; they simply slice their
+work into resumable items and hand each slice to the runtime, which owns
+preemption, deadline/budget checks, chunk retries and checkpoint cadence.
+
+Resumability contract per kind:
+
+* ``sweep`` — the frontier is the result store itself: completed units are
+  store hits on resume, so a killed stage replays zero completed units;
+* ``report`` / ``benchmark`` — derived stages: they only read a sweep
+  stage's persisted payloads (every unit a store/memo hit), so re-running
+  them after a crash recomputes aggregates from identical inputs —
+  wall-clock timings in a benchmark result are reported but excluded from
+  the stage digest, keeping digests bit-stable across runs;
+* ``fuzz`` — per-program frontier markers (store meta records) carry each
+  program's conformance result, so resumed fuzz stages skip finished
+  programs exactly like sweeps skip stored units.
+
+Every runner returns ``{"digest", "total", "executed", "reused", ...}``:
+``digest`` is the stage's deterministic content digest (the chaos matrix
+asserts these match fault-free runs bit-for-bit) and ``executed``/``reused``
+is the zero-recompute evidence the resume tests assert on.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.campaign.checkpoint import frontier_key, payload_digest
+from repro.campaign.spec import (
+    KIND_BENCHMARK,
+    KIND_FUZZ,
+    KIND_REPORT,
+    KIND_SWEEP,
+    StageSpec,
+    sweep_units,
+)
+
+
+def _unit_success(strategy: str, payload: dict) -> bool:
+    if strategy == "zero_shot":
+        return payload.get("outcome") == "success"
+    return bool(payload.get("success"))
+
+
+def run_sweep_stage(runtime, stage: StageSpec) -> dict:
+    units = sweep_units(stage, runtime.spec.seed)
+    executed_before = runtime.engine.stats.executed
+    reused_before = runtime.engine.stats.memo_hits + runtime.engine.stats.store_hits
+    payloads: list[dict] = []
+    done = 0
+    for chunk in runtime.chunks(units):
+        payloads.extend(runtime.run_chunk(stage.name, chunk))
+        done += len(chunk)
+        runtime.publish_progress(stage.name, done, len(units))
+    return {
+        "digest": payload_digest(payloads),
+        "total": len(units),
+        "executed": runtime.engine.stats.executed - executed_before,
+        "reused": runtime.engine.stats.memo_hits
+        + runtime.engine.stats.store_hits
+        - reused_before,
+    }
+
+
+def run_report_stage(runtime, stage: StageSpec) -> dict:
+    """Aggregate a sweep stage's persisted payloads into pass@k counts."""
+    source = runtime.spec.stage(str(stage.params.get("source", "generate")))
+    if source.kind != KIND_SWEEP:
+        raise ValueError(f"report stage {stage.name!r} must source a sweep stage")
+    units = sweep_units(source, runtime.spec.seed)
+    executed_before = runtime.engine.stats.executed
+    payloads: list[dict] = []
+    for chunk in runtime.chunks(units):
+        payloads.extend(runtime.run_chunk(stage.name, chunk))
+    cells: dict[str, dict] = {}
+    for unit, payload in zip(units, payloads):
+        cell = cells.setdefault(
+            f"{unit.strategy}/{unit.problem_id}",
+            {"samples": 0, "successes": 0},
+        )
+        cell["samples"] += 1
+        if _unit_success(unit.strategy, payload):
+            cell["successes"] += 1
+    report = {
+        "cells": {key: cells[key] for key in sorted(cells)},
+        "samples": len(units),
+        "successes": sum(cell["successes"] for cell in cells.values()),
+    }
+    runtime.publish_progress(stage.name, len(units), len(units))
+    return {
+        "digest": payload_digest([report]),
+        "total": len(units),
+        "executed": runtime.engine.stats.executed - executed_before,
+        "reused": len(units) - (runtime.engine.stats.executed - executed_before),
+        "report": report,
+    }
+
+
+def run_fuzz_stage(runtime, stage: StageSpec) -> dict:
+    """Differential-conformance sweep over generated programs, one frontier
+    marker per program."""
+    from repro.fuzz import FuzzConfig, check_program, generate_program
+
+    programs = int(stage.params.get("programs", 3))
+    config = FuzzConfig(
+        seed=int(stage.params.get("seed", runtime.spec.seed)),
+        iterations=programs,
+        points=int(stage.params.get("points", 8)),
+        max_statements=int(stage.params.get("max_statements", 4)),
+        shrink_failures=False,
+    )
+    results: list[dict] = []
+    executed = 0
+    reused = 0
+    for index in range(programs):
+        key = frontier_key(runtime.campaign_id, stage.name, f"{index:06d}")
+        cached = runtime.store.get_meta(key)
+        if cached is not None:
+            results.append(cached)
+            reused += 1
+        else:
+            runtime.tick(stage.name)
+            report = check_program(generate_program(config, index), config)
+            outcome = {
+                "index": index,
+                "ok": report.ok,
+                "checks": report.checks,
+                "failures": sorted(failure.render() for failure in report.failures),
+            }
+            runtime.store.put_meta(key, outcome)
+            results.append(outcome)
+            executed += 1
+        runtime.publish_progress(stage.name, index + 1, programs)
+    return {
+        "digest": payload_digest(results),
+        "total": programs,
+        "executed": executed,
+        "reused": reused,
+        "ok": sum(1 for result in results if result.get("ok")),
+    }
+
+
+def run_benchmark_stage(runtime, stage: StageSpec) -> dict:
+    """Time the warm verify/generate pipeline over a sweep stage's units.
+
+    Runs after the source sweep completed, so every unit is a store or memo
+    hit: what's measured is the warm read path (fingerprint → memo → store),
+    not fresh generation.  The wall-clock numbers go in the result for
+    humans and trend tooling; the digest covers only the deterministic
+    payload content, so fault-free and chaos runs digest identically.
+    """
+    source = runtime.spec.stage(str(stage.params.get("source", "generate")))
+    if source.kind != KIND_SWEEP:
+        raise ValueError(f"benchmark stage {stage.name!r} must source a sweep stage")
+    repeat = max(1, int(stage.params.get("repeat", 1)))
+    units = sweep_units(source, runtime.spec.seed)
+    executed_before = runtime.engine.stats.executed
+    durations: list[float] = []
+    payloads: list[dict] = []
+    for cycle in range(repeat):
+        started = time.perf_counter()
+        cycle_payloads: list[dict] = []
+        for chunk in runtime.chunks(units):
+            cycle_payloads.extend(runtime.run_chunk(stage.name, chunk))
+        durations.append(time.perf_counter() - started)
+        payloads = cycle_payloads
+        runtime.publish_progress(stage.name, (cycle + 1) * len(units), repeat * len(units))
+    executed = runtime.engine.stats.executed - executed_before
+    return {
+        "digest": payload_digest(payloads),
+        "total": len(units) * repeat,
+        "executed": executed,
+        "reused": len(units) * repeat - executed,
+        "units_per_second": round(
+            len(units) / min(durations) if durations and min(durations) > 0 else 0.0, 2
+        ),
+        "wall_seconds": round(sum(durations), 4),
+    }
+
+
+STAGE_RUNNERS = {
+    KIND_SWEEP: run_sweep_stage,
+    KIND_REPORT: run_report_stage,
+    KIND_FUZZ: run_fuzz_stage,
+    KIND_BENCHMARK: run_benchmark_stage,
+}

@@ -6,7 +6,9 @@ Importing this module requires the optional ``textual`` dependency
 import.  The app polls the model on a timer (the model pumps its bus
 subscription), then repaints four panels: the live session table, the fleet
 worker table, the cache hit-rate table, and the batch-size sparklines with a
-scrolling event tail.
+scrolling event tail.  A resilience panel (circuit-breaker state, campaign
+budget and stage progress, preemption/retry counters) appears under the
+caches whenever those events flow.
 """
 
 from __future__ import annotations
@@ -43,6 +45,7 @@ class ConsoleApp(App):
     #side { width: 46; }
     #fleet { height: auto; max-height: 12; }
     #caches { height: auto; max-height: 14; }
+    #resilience { height: auto; max-height: 10; padding: 0 1; }
     #batches { height: 4; padding: 0 1; }
     #headline { height: 1; padding: 0 1; }
     #tail { height: 10; }
@@ -65,6 +68,7 @@ class ConsoleApp(App):
             with Vertical(id="side"):
                 yield DataTable(id="fleet")
                 yield DataTable(id="caches")
+                yield Static("", id="resilience")
                 yield Static("", id="batches")
         yield Log(id="tail")
         yield Footer()
@@ -82,6 +86,9 @@ class ConsoleApp(App):
         self._repaint(self.query_one("#sessions", DataTable), self.model.session_rows())
         self._repaint(self.query_one("#fleet", DataTable), self.model.worker_rows())
         self._repaint(self.query_one("#caches", DataTable), self.model.cache_rows())
+        self.query_one("#resilience", Static).update(
+            "\n".join(self.model.resilience_lines())
+        )
         self.query_one("#batches", Static).update(
             f"llm batches {sparkline(self.model.llm_batches)}\n"
             f"sim batches {sparkline(self.model.sim_batches)}"

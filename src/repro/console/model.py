@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from repro.obs import Event, EventBus, Subscription
 
 #: Topic prefixes the console subscribes to — everything it knows how to fold.
-TOPICS = ("service", "trace", "fleet", "llm", "sim", "cache", "sweep", "fuzz")
+TOPICS = ("service", "trace", "fleet", "llm", "sim", "cache", "sweep", "fuzz", "campaign", "retry")
 
 #: Glyphs for :func:`sparkline`, lowest to highest.
 _SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
@@ -76,6 +76,13 @@ class ConsoleModel:
         self.llm_batches: deque[int] = deque(maxlen=batches)
         self.sim_batches: deque[int] = deque(maxlen=batches)
         self.sweep: dict = {}
+        # Resilience state: LLM breaker snapshot, live campaign budget /
+        # stage progress, preemption + retry counters (see resilience_lines).
+        self.breaker: dict = {}
+        self.campaign_id: str = ""
+        self.campaign_status: str = ""
+        self.campaign_budget: dict = {}
+        self.campaign_stages: OrderedDict[str, dict] = OrderedDict()
         self.tail: deque[str] = deque(maxlen=tail)
         self.events_seen = 0
         self._trace_to_session: dict[str, str] = {}
@@ -144,6 +151,15 @@ class ConsoleModel:
         elif topic == "llm.retry":
             self._count("llm-retry")
             self.tail.append(self._format(event))
+        elif topic == "llm.breaker":
+            self.breaker = dict(event.attrs)
+            self._count("breaker." + event.name)
+            if event.name in ("open", "half-open", "close"):
+                self.tail.append(self._format(event))
+        elif topic == "retry":
+            self._count("retry." + str(event.attrs.get("source", "?")))
+        elif topic == "campaign":
+            self._apply_campaign(event)
         elif topic == "sweep.progress":
             self.sweep = dict(event.attrs)
         elif topic.startswith("fuzz"):
@@ -153,6 +169,33 @@ class ConsoleModel:
 
     def _count(self, key: str) -> None:
         self.counters[key] = self.counters.get(key, 0) + 1
+
+    def _apply_campaign(self, event: Event) -> None:
+        attrs = event.attrs
+        self.campaign_id = str(attrs.get("campaign", self.campaign_id or ""))
+        if event.name == "progress":
+            stage = str(attrs.get("stage", "?"))
+            entry = self.campaign_stages.setdefault(stage, {})
+            entry["done"] = int(attrs.get("done", 0))
+            entry["total"] = int(attrs.get("total", 0))
+        elif event.name == "stage":
+            stage = str(attrs.get("stage", "?"))
+            entry = self.campaign_stages.setdefault(stage, {})
+            entry["status"] = str(attrs.get("status", "?"))
+            self.tail.append(self._format(event))
+        elif event.name == "budget":
+            self.campaign_budget = dict(attrs)
+        elif event.name == "preempt":
+            self._count("campaign.preempt")
+        elif event.name == "checkpoint":
+            self._count("campaign.checkpoint")
+        else:  # start / complete / drain / degrade
+            self._count("campaign." + event.name)
+            if event.name == "complete":
+                self.campaign_status = str(attrs.get("status", "?"))
+            elif event.name == "start":
+                self.campaign_status = "running"
+            self.tail.append(self._format(event))
 
     def _apply_trace(self, event: Event) -> None:
         attrs = event.attrs
@@ -260,7 +303,49 @@ class ConsoleModel:
             parts.append(f"sweep={self.sweep.get('done', 0)}/{self.sweep.get('total', 0)}")
         if self.fleet:
             parts.append(f"workers-alive={self.fleet.get('alive', 0)}")
+        if self.breaker:
+            parts.append(f"breaker={self.breaker.get('state', '?')}")
         return "  ".join(parts)
+
+    def resilience_lines(self) -> list[str]:
+        """The resilience panel: breaker, budget, campaign stages, preemptions."""
+        lines = []
+        if self.breaker:
+            lines.append(
+                f"llm breaker: {self.breaker.get('state', '?')}"
+                f"  failures={self.breaker.get('failures', 0)}"
+                f"  opens={self.breaker.get('opens', 0)}"
+                f"  rejections={self.breaker.get('rejections', 0)}"
+            )
+        if self.campaign_id:
+            status = self.campaign_status or "running"
+            lines.append(f"campaign {self.campaign_id}: {status}")
+        if self.campaign_budget:
+            budget = self.campaign_budget
+            limit = budget.get("limit")
+            remaining = budget.get("remaining")
+            line = f"llm budget: spent={budget.get('spent', 0)}"
+            if limit is not None:
+                line += f"/{limit}  remaining={remaining}"
+            deadline_remaining = budget.get("deadline_remaining")
+            if deadline_remaining is not None:
+                line += f"  deadline={deadline_remaining}s"
+            lines.append(line)
+        for stage, entry in self.campaign_stages.items():
+            status = entry.get("status", "running")
+            done, total = entry.get("done"), entry.get("total")
+            progress = f"  {done}/{total}" if total else ""
+            lines.append(f"  stage {stage}: {status}{progress}")
+        preempts = self.counters.get("campaign.preempt", 0)
+        retries = sum(
+            count for key, count in self.counters.items() if key.startswith("retry.")
+        )
+        degrades = self.counters.get("campaign.degrade", 0)
+        if preempts or retries or degrades:
+            lines.append(
+                f"preemptions={preempts}  retries={retries}  degrades={degrades}"
+            )
+        return lines
 
     # ------------------------------------------------------------- plain text
 
@@ -281,6 +366,11 @@ class ConsoleModel:
             lines.append("caches:")
             for row in self.cache_rows():
                 lines.append("  " + "  ".join(row))
+        resilience = self.resilience_lines()
+        if resilience:
+            lines.append("")
+            lines.append("resilience:")
+            lines.extend("  " + line for line in resilience)
         if self.llm_batches or self.sim_batches:
             lines.append("")
             lines.append(f"llm batches: {sparkline(self.llm_batches)}")

@@ -65,6 +65,10 @@ class SweepEngine:
         # the engine to the serial executor.
         self._custom_registry = registry is not None
         self.context = WorkerContext(registry=registry)
+        # Close only stores this engine opened itself: a caller-supplied
+        # store (the campaign orchestrator shares one across engine and
+        # checkpoint log) outlives any single engine.
+        self._owns_store = store is None and bool(config.store_path)
         if store is None and config.store_path:
             store = ResultStore(config.store_path)
         self.store = store
@@ -175,8 +179,8 @@ class SweepEngine:
         return SerialExecutor(self.context)
 
     def close(self) -> None:
-        """Release the store's file handles and any worker processes."""
-        if self.store is not None:
+        """Release the store's file handles (if owned) and worker processes."""
+        if self.store is not None and self._owns_store:
             self.store.close()
         if self._parallel is not None:
             self._parallel.shutdown()

@@ -50,6 +50,12 @@ FSYNC_ENV = "REPRO_STORE_FSYNC"
 DEFAULT_SEGMENT_RECORDS = 4096
 DEFAULT_SEGMENT_BYTES = 8 * 1024 * 1024
 
+#: Index-key prefix separating *meta* records (campaign manifests, stage
+#: frontiers — anything keyed by name rather than by unit fingerprint) from
+#: unit payloads.  The prefix contains a character that can never appear in a
+#: hex fingerprint, so the two key spaces cannot collide.
+META_PREFIX = "meta:"
+
 _TAIL = "tail.jsonl"
 _LOCK = "lock"
 _SEG_PREFIX = "seg-"
@@ -302,23 +308,62 @@ class ResultStore:
                 "sample": unit.sample,
                 "payload": payload,
             }
-            line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
-            with self._flock:
-                self._reconcile_tail_locked()
-                handle = self._append_handle()
-                handle.seek(0, os.SEEK_END)
-                offset = handle.tell()
-                handle.write(line)
-                handle.flush()
-                if self.fsync:
-                    os.fsync(handle.fileno())
-                self._index[fingerprint] = (_TAIL, offset, len(line))
-                self._tail_records += 1
-                if (
-                    self._tail_records >= self.segment_records
-                    or offset + len(line) >= self.segment_bytes
-                ):
-                    self._seal_tail_locked()
+            self._append_record_locked(fingerprint, record)
+
+    def _append_record_locked(self, fingerprint: str, record: dict) -> None:
+        """Append one record to the tail (caller holds ``self._mutex``)."""
+        line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        with self._flock:
+            self._reconcile_tail_locked()
+            handle = self._append_handle()
+            handle.seek(0, os.SEEK_END)
+            offset = handle.tell()
+            handle.write(line)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+            self._index[fingerprint] = (_TAIL, offset, len(line))
+            self._tail_records += 1
+            if (
+                self._tail_records >= self.segment_records
+                or offset + len(line) >= self.segment_bytes
+            ):
+                self._seal_tail_locked()
+
+    # ------------------------------------------------------------ meta records
+
+    def put_meta(self, key: str, payload: dict) -> None:
+        """Record one named meta document (manifest, frontier marker, ...).
+
+        Meta records share the store's append path — and therefore its crash
+        safety, segmentation and first-wins semantics — but live in a key
+        space that cannot collide with unit fingerprints.  Because ``put`` is
+        first-wins, evolving documents must be written under *versioned* keys
+        (e.g. ``campaign/<id>/manifest/<seq>``); :meth:`meta_keys` lets the
+        reader find the newest version.
+        """
+        with self._mutex:
+            fingerprint = META_PREFIX + key
+            if fingerprint in self._index:
+                return
+            record = {"v": PAYLOAD_VERSION, "fp": fingerprint, "meta": True, "payload": payload}
+            self._append_record_locked(fingerprint, record)
+
+    def get_meta(self, key: str) -> dict | None:
+        return self.get(META_PREFIX + key)
+
+    def meta_keys(self, prefix: str = "") -> list[str]:
+        """Sorted meta keys starting with ``prefix``."""
+        full = META_PREFIX + prefix
+        with self._mutex:
+            return sorted(
+                fp[len(META_PREFIX) :] for fp in self._index if fp.startswith(full)
+            )
+
+    def unit_fingerprints(self) -> list[str]:
+        """Fingerprints of unit records only (meta records excluded)."""
+        with self._mutex:
+            return [fp for fp in self._index if not fp.startswith(META_PREFIX)]
 
     def __contains__(self, fingerprint: str) -> bool:
         with self._mutex:

@@ -10,6 +10,8 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, replace
 
+from repro.retry import BackoffPolicy
+
 WORKERS_ENV = "REPRO_FLEET_WORKERS"
 HEARTBEAT_ENV = "REPRO_FLEET_HEARTBEAT"
 HEARTBEAT_MISSES_ENV = "REPRO_FLEET_HEARTBEAT_MISSES"
@@ -95,9 +97,14 @@ class FleetConfig:
         """The supervisor pump's poll timeout: responsive but not spinning."""
         return max(0.005, min(0.05, self.heartbeat_interval / 4.0))
 
+    @property
+    def backoff(self) -> BackoffPolicy:
+        """The restart cooldown as a shared :class:`repro.retry.BackoffPolicy`."""
+        return BackoffPolicy(base=self.restart_backoff, cap=self.restart_backoff_max)
+
     def backoff_delay(self, restarts: int) -> float:
         """Seconds to cool down before restart number ``restarts`` (1-based)."""
-        return min(self.restart_backoff_max, self.restart_backoff * (2 ** max(0, restarts - 1)))
+        return self.backoff.delay(restarts)
 
     @classmethod
     def from_environment(cls, base: "FleetConfig | None" = None) -> "FleetConfig":

@@ -45,6 +45,7 @@ from typing import Callable, Iterable, Iterator
 
 from repro.experiments.strategies import execute_unit
 from repro.experiments.work import WorkerContext, WorkUnit
+from repro.retry import emit_retry
 from repro.fleet.config import FleetConfig
 from repro.fleet.events import EventLog
 from repro.fleet.messages import (
@@ -191,6 +192,26 @@ class FleetSupervisor:
         self._pump = threading.Thread(target=self._pump_loop, name="fleet-pump", daemon=True)
         self._pump.start()
         return self
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait until every accepted job has resolved (graceful shutdown).
+
+        Accepts no new work afterwards only if the caller follows with
+        :meth:`close`; drain itself just waits the in-flight set down so a
+        shutdown can finish leased jobs instead of stranding them with
+        ``FleetShutdownError``.  Returns ``True`` when the fleet emptied
+        within ``timeout`` seconds (``None`` = wait forever).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self._closed:
+            with self._lock:
+                if not self._jobs:
+                    self.events.record("drained")
+                    return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(self.config.tick)
+        return False
 
     def close(self) -> None:
         if self._closed:
@@ -484,6 +505,7 @@ class FleetSupervisor:
             delay = self.config.backoff_delay(handle.restarts)
             handle.restart_at = time.monotonic() + delay
             self.events.record("cooling", slot=handle.slot, delay=round(delay, 4))
+            emit_retry(self.events.bus, "fleet", handle.restarts, reason, delay)
 
     def _restart_cooled(self) -> None:
         now = time.monotonic()

@@ -11,13 +11,18 @@ hundreds.  This module provides the shared machinery between them:
 * :class:`LatencyClient` — a latency-simulating wrapper used by the service
   benchmarks and demos to model provider round-trips without burning CPU;
 * :class:`TokenBucket` — an asyncio token-bucket rate limiter;
-* :class:`RetryPolicy` — capped exponential backoff with multiplicative
-  jitter;
+* :class:`RetryPolicy` — re-exported from :mod:`repro.retry` (the shared
+  retry/backoff vocabulary), kept importable from here for compatibility;
 * :class:`BatchingDispatcher` — the heart of the service's LLM layer: it
   coalesces concurrent completion requests into micro-batches (a short
   collection window, closed early when the batch fills), applies the rate
   limiter per batch, caps in-flight batches and per-profile concurrency, and
-  retries transient failures with jittered backoff.
+  retries transient failures with jittered backoff.  Optionally it threads a
+  :class:`~repro.retry.CircuitBreaker` around every attempt (consecutive
+  transport failures open it; rejected attempts back off like transport
+  errors without adding failure evidence) and charges a duck-typed budget
+  (anything with ``charge(n)``) one unit per accepted request, so campaign
+  LLM-call budgets propagate into the service path with no import cycle.
 
 Determinism note: each generation session owns its deterministically seeded
 client, and the dispatcher always answers a request through *that* request's
@@ -35,6 +40,18 @@ from dataclasses import dataclass, field
 from typing import Protocol
 
 from repro.llm.client import ChatClient, ChatMessage
+from repro.retry import BreakerOpenError, RetryPolicy, emit_retry, is_transport_fault
+
+__all__ = [
+    "AsyncChatClient",
+    "BatchChatClient",
+    "BatchingDispatcher",
+    "DispatchStats",
+    "LatencyClient",
+    "RetryPolicy",
+    "SyncClientAdapter",
+    "TokenBucket",
+]
 
 
 class AsyncChatClient(Protocol):
@@ -125,26 +142,6 @@ class TokenBucket:
                 self._refill(loop.time())
 
 
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Capped exponential backoff with multiplicative jitter.
-
-    ``attempts`` counts *retries* after the first try.  The delay before
-    retry ``k`` (1-based) is ``base_delay * 2**(k-1)`` capped at
-    ``max_delay``, scaled by a uniform factor in ``[1 - jitter/2, 1 + jitter/2]``
-    so synchronized failures don't retry in lockstep.
-    """
-
-    attempts: int = 3
-    base_delay: float = 0.05
-    max_delay: float = 2.0
-    jitter: float = 0.5
-
-    def delay(self, attempt: int, rng: random.Random) -> float:
-        base = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
-        return base * (1.0 - self.jitter / 2.0 + rng.random() * self.jitter)
-
-
 @dataclass
 class DispatchStats:
     """Cumulative dispatcher accounting (all mutated on the event loop)."""
@@ -155,6 +152,8 @@ class DispatchStats:
     failures: int = 0
     timeouts: int = 0
     cancelled: int = 0
+    breaker_rejections: int = 0
+    budget_rejections: int = 0
     max_batch_size: int = 0
     batched_requests: int = 0
     batch_sizes: list[int] = field(default_factory=list)
@@ -181,6 +180,8 @@ class DispatchStats:
             "failures": self.failures,
             "timeouts": self.timeouts,
             "cancelled": self.cancelled,
+            "breaker_rejections": self.breaker_rejections,
+            "budget_rejections": self.budget_rejections,
             "mean_batch_size": round(self.mean_batch_size, 3),
             "max_batch_size": self.max_batch_size,
         }
@@ -236,6 +237,8 @@ class BatchingDispatcher:
         retry_seed: int | None = None,
         request_timeout: float | None = None,
         bus=None,
+        breaker=None,
+        budget=None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -244,6 +247,13 @@ class BatchingDispatcher:
         # Optional structured event bus (repro.obs): batch flushes, retries
         # and timeouts publish to it when subscribers are attached.
         self.bus = bus
+        # Optional resilience hooks: ``breaker`` is a
+        # :class:`repro.retry.CircuitBreaker` consulted before every attempt;
+        # ``budget`` is any object with ``charge(n)`` (raising to refuse) —
+        # campaigns pass their LLM-call budget without this module importing
+        # repro.campaign.
+        self.breaker = breaker
+        self.budget = budget
         self.default_client = default_client
         self.batch_window = batch_window
         self.max_batch = max_batch
@@ -295,6 +305,12 @@ class BatchingDispatcher:
     # --------------------------------------------------------------- batching
 
     async def _enqueue(self, messages: list[ChatMessage], client) -> str:
+        if self.budget is not None:
+            try:
+                self.budget.charge(1)
+            except Exception:
+                self.stats.budget_rejections += 1
+                raise
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self.stats.requests += 1
@@ -399,7 +415,14 @@ class BatchingDispatcher:
             if request.future.done():
                 return  # The caller abandoned this request; spend nothing on it.
             try:
+                if self.breaker is not None and not self.breaker.allow():
+                    self.stats.breaker_rejections += 1
+                    raise BreakerOpenError(
+                        f"circuit breaker {self.breaker.name!r} is open"
+                    )
                 result = await self._call(request.client, request.messages)
+                if self.breaker is not None:
+                    self.breaker.record_success()
                 if not request.future.done():
                     request.future.set_result(result)
                 return
@@ -412,25 +435,26 @@ class BatchingDispatcher:
                     exc = TimeoutError(
                         f"completion attempt exceeded {self.request_timeout}s"
                     )
+                # Breaker rejections are back-pressure, not fresh transport
+                # evidence: back off and retry, but record nothing.
+                if self.breaker is not None and not isinstance(exc, BreakerOpenError):
+                    if timed_out or is_transport_fault(exc):
+                        self.breaker.record_failure()
                 attempt += 1
+                reason = "timeout" if timed_out else type(exc).__name__
                 if attempt > self.retry.attempts:
                     self.stats.failures += 1
                     if self.bus is not None and self.bus.active:
-                        self.bus.publish(
-                            "llm.retry", "exhausted", reason=type(exc).__name__
-                        )
+                        self.bus.publish("llm.retry", "exhausted", reason=reason)
                     if not request.future.done():
                         request.future.set_exception(exc)
                     return
                 self.stats.retries += 1
+                delay = self.retry.delay(attempt, self._rng)
                 if self.bus is not None and self.bus.active:
-                    self.bus.publish(
-                        "llm.retry",
-                        "retry",
-                        attempt=attempt,
-                        reason="timeout" if timed_out else type(exc).__name__,
-                    )
-                await asyncio.sleep(self.retry.delay(attempt, self._rng))
+                    self.bus.publish("llm.retry", "retry", attempt=attempt, reason=reason)
+                emit_retry(self.bus, "llm", attempt, reason, delay)
+                await asyncio.sleep(delay)
 
     async def _complete_grouped(self, group: list[_Request]) -> None:
         group = [request for request in group if not request.future.done()]

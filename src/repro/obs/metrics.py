@@ -162,7 +162,10 @@ class MetricsSink:
     events lost to backpressure surface as ``repro_events_dropped_total``.
     """
 
-    TOPICS = ("service", "llm", "sim", "trace", "fleet", "cache", "sweep", "fuzz")
+    TOPICS = (
+        "service", "llm", "sim", "trace", "fleet", "cache", "sweep", "fuzz",
+        "campaign", "retry",
+    )
 
     def __init__(self, registry: MetricsRegistry | None = None):
         self.registry = registry or MetricsRegistry()
@@ -235,6 +238,27 @@ class MetricsSink:
             registry.counter("repro_llm_retries_total", "dispatch retries").inc(
                 reason=attrs.get("reason", "error")
             )
+        elif topic == "llm.breaker":
+            registry.counter(
+                "repro_breaker_transitions_total", "circuit-breaker transitions"
+            ).inc(transition=name)
+        elif topic == "retry":
+            registry.counter(
+                "repro_retries_total", "retry attempts by source layer"
+            ).inc(source=attrs.get("source", "unknown"))
+        elif topic == "campaign":
+            if name == "budget":
+                registry.gauge("repro_campaign_llm_spent", "campaign LLM spend").set(
+                    attrs.get("spent", 0)
+                )
+            elif name == "progress":
+                registry.gauge(
+                    "repro_campaign_stage_done", "campaign stage progress"
+                ).set(attrs.get("done", 0), stage=attrs.get("stage", ""))
+            else:
+                registry.counter(
+                    "repro_campaign_events_total", "campaign lifecycle events"
+                ).inc(event=name)
         elif topic == "sim.batch":
             registry.histogram(
                 "repro_sim_batch_size",

@@ -23,6 +23,7 @@ FLEET_WORKERS_ENV = "REPRO_SERVICE_FLEET_WORKERS"
 REQUEST_TIMEOUT_ENV = "REPRO_SERVICE_REQUEST_TIMEOUT"
 SIM_BATCH_WINDOW_ENV = "REPRO_SERVICE_SIM_BATCH_WINDOW"
 SIM_MAX_BATCH_ENV = "REPRO_SERVICE_SIM_MAX_BATCH"
+DRAIN_TIMEOUT_ENV = "REPRO_SERVICE_DRAIN_TIMEOUT"
 
 
 def _env_float(name: str) -> float | None:
@@ -74,6 +75,16 @@ class ServiceConfig:
     pending) and run as one :meth:`Simulator.simulate_many` batch, which
     coalesces structurally-identical candidates onto shared vector kernels.
     ``sim_max_batch <= 1`` disables batching (each simulate runs alone).
+
+    ``drain_timeout`` bounds how long ``close(drain=True)`` waits for
+    in-flight and queued jobs to finish before tearing the service down
+    anyway (graceful shutdown with a hard edge).
+
+    ``breaker`` optionally installs a :class:`repro.retry.CircuitBreaker`
+    around the dispatcher's transport attempts (build one with
+    ``CircuitBreaker.from_environment()``), and ``llm_budget`` any object
+    with ``charge(n)`` — e.g. a campaign's :class:`repro.campaign.Budget` —
+    charged once per LLM request; both default off.
     """
 
     max_in_flight: int = 32
@@ -90,6 +101,9 @@ class ServiceConfig:
     request_timeout: float | None = None
     sim_batch_window: float = 0.0
     sim_max_batch: int = 16
+    drain_timeout: float = 30.0
+    breaker: object | None = None
+    llm_budget: object | None = None
 
     def __post_init__(self) -> None:
         if self.max_in_flight < 1:
@@ -104,6 +118,8 @@ class ServiceConfig:
             raise ValueError("request_timeout must be > 0 or None")
         if self.sim_batch_window < 0:
             raise ValueError("sim_batch_window must be >= 0")
+        if self.drain_timeout < 0:
+            raise ValueError("drain_timeout must be >= 0")
 
     @classmethod
     def from_environment(cls) -> "ServiceConfig":
@@ -138,6 +154,9 @@ class ServiceConfig:
         sim_max_batch = _env_int(SIM_MAX_BATCH_ENV)
         if sim_max_batch is not None:
             config.sim_max_batch = sim_max_batch
+        drain_timeout = _env_float(DRAIN_TIMEOUT_ENV)
+        if drain_timeout is not None:
+            config.drain_timeout = max(0.0, drain_timeout)
         store_raw = os.environ.get(RESULT_STORE_ENV, "").strip()
         if store_raw.lower() not in _DISABLED_STORE_VALUES:
             config.store_path = store_raw

@@ -41,6 +41,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence
 
 from repro.caching import LruCache, cache_stats
+from repro.campaign.scheduler import get_priority_gate
 from repro.core.session import LLMCall, Session
 from repro.experiments.store import ResultStore
 from repro.experiments.strategies import strategy_from_unit
@@ -217,6 +218,7 @@ class GenerationService:
         self._fleet = None  # FleetSupervisor when config.fleet_workers > 0
         self._fleet_health: dict = {}  # last health report, survives close()
         self._sim_batcher: _SimulationBatcher | None = None
+        self._draining = False
 
     # -------------------------------------------------------------- lifecycle
 
@@ -237,6 +239,8 @@ class GenerationService:
             retry=config.retry,
             retry_seed=0,
             request_timeout=config.request_timeout,
+            breaker=config.breaker,
+            budget=config.llm_budget,
             bus=self.bus,
         )
         if config.fleet_workers > 0 and self._fleet is None:
@@ -263,7 +267,29 @@ class GenerationService:
         self._workers = [loop.create_task(self._worker()) for _ in range(config.max_in_flight)]
         return self
 
-    async def close(self) -> None:
+    async def close(self, drain: bool = False) -> None:
+        """Tear the service down; ``drain=True`` finishes in-flight work first.
+
+        Draining stops ``submit`` from accepting new jobs, then waits (up to
+        ``config.drain_timeout`` seconds) for every queued and in-flight job
+        to resolve before the normal teardown — so a graceful shutdown never
+        strands a submitter and never abandons work it already accepted.
+        """
+        if drain and self.started:
+            self._draining = True
+            try:
+                await asyncio.wait_for(
+                    self._queue.join(), timeout=self.config.drain_timeout or None
+                )
+            except asyncio.TimeoutError:
+                pass
+            if self.bus.active:
+                self.bus.publish(
+                    "service.job",
+                    "drained",
+                    pending=self._queue.qsize() if self._queue is not None else 0,
+                    in_flight=self.telemetry.in_flight,
+                )
         for worker in self._workers:
             worker.cancel()
         if self._workers:
@@ -291,6 +317,7 @@ class GenerationService:
             self._tools.shutdown(wait=True)
             self._tools = None
         self._queue = None
+        self._draining = False
         if self._owns_store and self.store is not None:
             self.store.close()
 
@@ -327,6 +354,8 @@ class GenerationService:
         """Enqueue one job and await its payload (awaits when the queue is full)."""
         if not self.started:
             raise RuntimeError("service not started; use `async with service:` or await start()")
+        if self._draining:
+            raise RuntimeError("generation service is draining; not accepting new jobs")
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self.telemetry.submitted += 1
@@ -439,6 +468,10 @@ class GenerationService:
         self._inflight[fingerprint] = barrier
         self.telemetry.in_flight += 1
         started = loop.time()
+        # Real executions (not cache hits) mark the process-wide priority
+        # gate: background campaigns park while interactive jobs run.
+        gate = get_priority_gate()
+        gate.interactive_begin()
         try:
             with span(
                 "session",
@@ -460,6 +493,7 @@ class GenerationService:
                 barrier.set_exception(exc)
             raise
         finally:
+            gate.interactive_end()
             self.telemetry.in_flight -= 1
             self.telemetry.record_latency(loop.time() - started)
             del self._inflight[fingerprint]

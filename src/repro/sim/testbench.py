@@ -34,6 +34,18 @@ quietly would invalidate whatever measurement or verification the caller
 forced it for.  ``REPRO_SIM_BACKEND=interpreter`` also disables the trace and
 vector paths under ``"auto"``, since both execute compiled kernels.
 
+**Health-based degradation**: kernel-path crashes (exceptions escaping a
+compiled vector/trace kernel — never ordinary mismatch reports or
+:class:`SimulationError`) feed per-backend circuit breakers.  Under
+``"auto"``, a backend whose breaker trips (``REPRO_SIM_HEALTH_THRESHOLD``
+consecutive crashes, default 3) is skipped until its cooldown expires —
+vector degrades to trace, trace to step-wise — so a single poisoned kernel
+path cannot fail a whole campaign.  Env-forced backends stay strict: with
+``REPRO_TB_BACKEND=vector``/``=trace`` a kernel crash propagates instead of
+degrading, because a forced backend that silently degrades would invalidate
+whatever the caller forced it for.  ``backend_health()`` snapshots the
+breakers; ``reset_backend_health()`` re-arms them (tests).
+
 :func:`run_testbenches` is the batched entry point: jobs whose modules share a
 structural fingerprint and testbench shape coalesce into one vector-kernel
 call (duplicate (candidate, stimulus) rows collapse to a single lane), with
@@ -46,6 +58,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from repro.retry import CircuitBreaker
 from repro.verilog.compile_sim import TraceSchedule, get_trace_kernel
 from repro.verilog.compile_vec import VecTraceKernel, get_vec_kernel
 from repro.verilog.simulator import Simulation, SimulationError
@@ -55,6 +68,58 @@ _TB_BACKEND_ENV = "REPRO_TB_BACKEND"
 _TB_BACKENDS = ("auto", "trace", "stepwise", "vector")
 _MAX_LANES_ENV = "REPRO_SIM_MAX_LANES"
 _DEFAULT_MAX_LANES = 65536
+_HEALTH_THRESHOLD_ENV = "REPRO_SIM_HEALTH_THRESHOLD"
+_HEALTH_COOLDOWN = 5.0
+
+#: Per-backend health breakers (lazily built; ``None`` entries = disabled).
+_health: dict[str, CircuitBreaker | None] | None = None
+
+
+def _health_breakers() -> dict[str, CircuitBreaker | None]:
+    global _health
+    if _health is None:
+        raw = os.environ.get(_HEALTH_THRESHOLD_ENV, "").strip()
+        threshold = int(raw) if raw else 3
+        _health = {
+            name: (
+                CircuitBreaker(threshold, cooldown=_HEALTH_COOLDOWN, name="sim." + name)
+                if threshold > 0
+                else None
+            )
+            for name in ("vector", "trace")
+        }
+    return _health
+
+
+def _health_allows(backend: str) -> bool:
+    breaker = _health_breakers().get(backend)
+    return breaker is None or breaker.allow()
+
+
+def _health_failure(backend: str) -> None:
+    breaker = _health_breakers().get(backend)
+    if breaker is not None:
+        breaker.record_failure()
+
+
+def _health_success(backend: str) -> None:
+    breaker = _health_breakers().get(backend)
+    if breaker is not None:
+        breaker.record_success()
+
+
+def backend_health() -> dict:
+    """Snapshot of the vector/trace health breakers (state, failures, opens)."""
+    return {
+        name: (breaker.snapshot() if breaker is not None else {"state": "disabled"})
+        for name, breaker in _health_breakers().items()
+    }
+
+
+def reset_backend_health() -> None:
+    """Re-arm the health breakers (re-reading ``REPRO_SIM_HEALTH_THRESHOLD``)."""
+    global _health
+    _health = None
 
 
 @dataclass(frozen=True)
@@ -410,6 +475,9 @@ def run_testbenches(
     use_vector = resolved in ("auto", "vector")
     if resolved == "auto" and os.environ.get("REPRO_SIM_BACKEND") == "interpreter":
         use_vector = False
+    strict_vector = backend is None and env_backend == "vector"
+    if use_vector and not strict_vector and not _health_allows("vector"):
+        use_vector = False  # tripped health breaker: degrade the whole batch
     if backend is None:
         fallback_backend = None  # env semantics (incl. strictness) apply per job
     elif resolved == "vector":
@@ -471,11 +539,32 @@ def run_testbenches(
             (index, testbench, observed, enlist(dut_kernel, stimulus), enlist(ref_kernel, stimulus))
         )
 
-    results = {key: _run_vec_group(kernel, rows) for key, (kernel, rows, _) in groups.items()}
+    results: dict[int, list | None] = {}
+    crashed = False
+    for key, (kernel, rows, _) in groups.items():
+        try:
+            results[key] = _run_vec_group(kernel, rows)
+        except SimulationError:
+            raise
+        except Exception:
+            # A crashed kernel group fails its lanes over to the per-job
+            # scalar path; strict env forcing propagates the crash instead.
+            if strict_vector:
+                raise
+            _health_failure("vector")
+            crashed = True
+            results[key] = None
     for index, testbench, observed, (dut_key, dut_row), (ref_key, ref_row) in staged:
-        reports[index] = _compare_vec_outputs(
-            testbench, observed, results[dut_key][dut_row], results[ref_key][ref_row]
-        )
+        dut_result, ref_result = results[dut_key], results[ref_key]
+        if dut_result is None or ref_result is None:
+            dut, reference, _tb = jobs[index]
+            reports[index] = run_testbench(dut, reference, testbench, fallback_backend)
+        else:
+            reports[index] = _compare_vec_outputs(
+                testbench, observed, dut_result[dut_row], ref_result[ref_row]
+            )
+    if groups and not crashed:
+        _health_success("vector")
     return reports
 
 
@@ -500,8 +589,21 @@ def run_testbench(
         resolved = "stepwise"  # honour the forced-interpreter knob
     if resolved == "vector":
         if isinstance(dut, VModule) and isinstance(reference, VModule):
-            report = _run_testbench_vector(dut, reference, testbench)
+            report = None
+            if strict_vector or _health_allows("vector"):
+                try:
+                    report = _run_testbench_vector(dut, reference, testbench)
+                except SimulationError:
+                    raise
+                except Exception:
+                    # Kernel-path crash: strict env forcing propagates it;
+                    # otherwise it feeds the vector health breaker and the
+                    # job degrades to the trace tier.
+                    if strict_vector:
+                        raise
+                    _health_failure("vector")
             if report is not None:
+                _health_success("vector")
                 return report
             if strict_vector:
                 raise SimulationError(
@@ -525,8 +627,20 @@ def run_testbench(
         and isinstance(dut, VModule)
         and isinstance(reference, VModule)
     ):
-        report = _run_testbench_trace(dut, reference, testbench)
+        report = None
+        if strict_trace or _health_allows("trace"):
+            try:
+                report = _run_testbench_trace(dut, reference, testbench)
+            except SimulationError:
+                raise
+            except Exception:
+                # Kernel-path crash: strict forcing propagates, auto feeds
+                # the trace health breaker and degrades to step-wise.
+                if strict_trace:
+                    raise
+                _health_failure("trace")
         if report is not None:
+            _health_success("trace")
             return report
         if strict_trace:
             raise SimulationError(

@@ -1,0 +1,132 @@
+"""Crash-resume equivalence: SIGKILL a live campaign, resume, converge.
+
+The harshest fault class in the chaos matrix: the orchestrator process is
+killed with SIGKILL (no handlers, no atexit, torn tail writes possible) at
+seeded-random points mid-campaign, then re-launched with the identical
+command line.  The contract under test:
+
+* the campaign converges to ``complete`` within a bounded number of resumes,
+* the converged store is bit-identical (``store_unit_digest``) to one from
+  an uninterrupted run of the same spec,
+* stage digests in the final manifest match the uninterrupted run, and
+* a further re-run replays **zero** work units (the frontier is the store).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.checkpoint import store_unit_digest
+from repro.retry import seeded_rng
+
+pytestmark = pytest.mark.chaos
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+QUICK = ["--quick", "--samples", "1", "--seed", "7", "--chunk", "1"]
+
+
+def campaign_argv(store, *extra):
+    return [sys.executable, "-m", "repro.campaign", "--store", str(store), *QUICK, *extra]
+
+
+def campaign_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    # Keep subprocess behaviour hermetic regardless of the host environment.
+    for name in list(env):
+        if name.startswith("REPRO_"):
+            env.pop(name)
+    return env
+
+
+def run_to_completion(store, *extra):
+    completed = subprocess.run(
+        campaign_argv(store, *extra),
+        env=campaign_env(),
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return json.loads(completed.stdout.strip().splitlines()[-1])
+
+
+class TestSigkillResume:
+    def test_kill_resume_converges_bit_identically(self, tmp_path):
+        reference = run_to_completion(tmp_path / "reference")
+        assert reference["status"] == "complete"
+
+        store = tmp_path / "chaos"
+        rng = seeded_rng("campaign-sigkill", 7)
+        argv = campaign_argv(store, "--throttle", "0.02")
+        kills = 0
+        for attempt in range(8):
+            process = subprocess.Popen(
+                argv,
+                env=campaign_env(),
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            delay = 0.2 + rng.random() * 1.2
+            time.sleep(delay)
+            if process.poll() is not None:
+                process.wait()
+                break  # finished before this kill landed
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30)
+            kills += 1
+        else:
+            pytest.fail("campaign did not converge within 8 kill/resume rounds")
+        assert kills >= 1, "every round finished before the kill; widen the window"
+
+        # The killed store must load cleanly (torn tails truncated on reopen)
+        # and the surviving frontier must be bit-identical to fault-free work.
+        final = run_to_completion(store, "--throttle", "0.02")
+        assert final["status"] == "complete"
+        assert store_unit_digest(str(store)) == store_unit_digest(
+            str(tmp_path / "reference")
+        )
+        assert [s["result"]["digest"] for s in final["stages"]] == [
+            s["result"]["digest"] for s in reference["stages"]
+        ]
+
+        # Zero-replay: one more run must execute nothing at all.
+        verify = run_to_completion(store, "--throttle", "0.02")
+        assert verify["executed"] == 0
+        assert verify["resumed"] is True
+
+    def test_sigterm_drains_and_resume_completes(self, tmp_path):
+        store = tmp_path / "drain"
+        process = subprocess.Popen(
+            campaign_argv(store, "--throttle", "0.05"),
+            env=campaign_env(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        time.sleep(0.8)
+        if process.poll() is None:
+            process.send_signal(signal.SIGTERM)
+        stdout, stderr = process.communicate(timeout=60)
+        assert process.returncode == 0, stderr
+        result = json.loads(stdout.strip().splitlines()[-1])
+        assert result["status"] in ("drained", "complete")
+
+        final = run_to_completion(store)
+        assert final["status"] == "complete"
+        reference = run_to_completion(tmp_path / "reference")
+        assert store_unit_digest(str(store)) == store_unit_digest(
+            str(tmp_path / "reference")
+        )
+        assert [s["result"]["digest"] for s in final["stages"]] == [
+            s["result"]["digest"] for s in reference["stages"]
+        ]

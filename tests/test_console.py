@@ -176,3 +176,56 @@ def test_textual_app_shows_live_session_table():
         asyncio.run(drive())
     finally:
         model.detach()
+
+
+class TestResiliencePanel:
+    def test_breaker_and_retry_events_populate_the_panel(self):
+        from repro.retry import CircuitBreaker, emit_retry
+
+        bus = EventBus()
+        model = ConsoleModel()
+        model.attach(bus)
+        try:
+            breaker = CircuitBreaker(1, 3600.0, name="llm", bus=bus)
+            breaker.record_failure()
+            emit_retry(bus, "campaign", 1, "TransportTimeout", 0.1)
+            emit_retry(bus, "llm", 2, "HttpError", 0.2)
+            model.pump()
+        finally:
+            model.detach()
+        lines = model.resilience_lines()
+        assert any(line.startswith("llm breaker: open") for line in lines)
+        assert any("retries=2" in line for line in lines)
+        assert "breaker=open" in model.headline()
+        assert "resilience:" in model.render()
+
+    def test_live_campaign_feeds_stage_progress_and_budget(self, tmp_path):
+        from repro.campaign.config import CampaignConfig
+        from repro.campaign.orchestrator import CampaignOrchestrator
+        from repro.campaign.spec import default_campaign
+
+        bus = EventBus()
+        model = ConsoleModel()
+        model.attach(bus)
+        try:
+            result = CampaignOrchestrator(
+                default_campaign(samples=1, fuzz_programs=2),
+                CampaignConfig(store_path=str(tmp_path / "store"), chunk_size=2),
+                bus=bus,
+            ).run()
+            model.pump()
+        finally:
+            model.detach()
+        assert result.status == "complete"
+        assert model.campaign_id == result.campaign_id
+        assert model.campaign_status == "complete"
+        lines = "\n".join(model.resilience_lines())
+        assert f"campaign {result.campaign_id}: complete" in lines
+        assert "llm budget: spent=" in lines
+        for stage in ("generate", "verify", "fuzz", "benchmark"):
+            assert f"stage {stage}: complete" in lines
+
+    def test_empty_panel_stays_out_of_render(self):
+        model = ConsoleModel()
+        assert model.resilience_lines() == []
+        assert "resilience:" not in model.render()

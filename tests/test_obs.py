@@ -299,3 +299,26 @@ class TestFleetEventBridge:
         supervisor.events.record("spawn", slot=0)
         supervisor.events.record("ready", slot=0)
         assert supervisor.health()["events_dropped"] == 1
+
+
+class TestResilienceMetrics:
+    def test_breaker_retry_and_campaign_events_become_series(self):
+        bus = EventBus()
+        sink = MetricsSink().attach(bus)
+        bus.publish("llm.breaker", "open", state="open", failures=3)
+        bus.publish("llm.breaker", "close", state="closed")
+        bus.publish("retry", "attempt", source="campaign", attempt=1)
+        bus.publish("retry", "attempt", source="fleet", attempt=2)
+        bus.publish("campaign", "budget", campaign="abc", spent=7, limit=10)
+        bus.publish("campaign", "progress", campaign="abc", stage="generate", done=3, total=4)
+        bus.publish("campaign", "checkpoint", campaign="abc", seq=2)
+        assert sink.pump() == 7
+        registry = sink.registry
+        assert registry.counter("repro_breaker_transitions_total").value(transition="open") == 1
+        assert registry.counter("repro_breaker_transitions_total").value(transition="close") == 1
+        assert registry.counter("repro_retries_total").value(source="campaign") == 1
+        assert registry.counter("repro_retries_total").value(source="fleet") == 1
+        assert registry.gauge("repro_campaign_llm_spent").value() == 7
+        assert registry.gauge("repro_campaign_stage_done").value(stage="generate") == 3
+        assert registry.counter("repro_campaign_events_total").value(event="checkpoint") == 1
+        sink.detach()

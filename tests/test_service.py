@@ -660,3 +660,158 @@ class TestServiceConfig:
                 await service.submit(unit)
 
         asyncio.run(main())
+
+
+class TestGracefulDrain:
+    """``close(drain=True)`` finishes in-flight work instead of failing it."""
+
+    def test_drain_finishes_queued_jobs_bit_identically(self):
+        units = make_units(samples=1)[:4]
+        expected = direct_payloads(units)
+
+        class SlowClient:
+            def __init__(self, inner):
+                self.inner = inner
+
+            async def complete(self, messages):
+                await asyncio.sleep(0.02)
+                return self.inner.complete(messages)
+
+        async def main():
+            context = WorkerContext()
+            service = GenerationService(
+                ServiceConfig(max_in_flight=1),
+                context=context,
+                client_factory=lambda unit: SlowClient(context.client_for(unit)),
+            )
+            await service.start()
+            tasks = [asyncio.create_task(service.submit(unit)) for unit in units]
+            await asyncio.sleep(0.01)  # one in flight, the rest queued
+            await service.close(drain=True)
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        results = asyncio.run(main())
+        assert results == expected  # every submitter got its real payload
+
+    def test_submit_during_drain_is_rejected(self):
+        units = make_units(samples=1)[:3]
+
+        class SlowClient:
+            def __init__(self, inner):
+                self.inner = inner
+
+            async def complete(self, messages):
+                await asyncio.sleep(0.05)
+                return self.inner.complete(messages)
+
+        async def main():
+            context = WorkerContext()
+            service = GenerationService(
+                ServiceConfig(max_in_flight=1),
+                context=context,
+                client_factory=lambda unit: SlowClient(context.client_for(unit)),
+            )
+            await service.start()
+            tasks = [asyncio.create_task(service.submit(unit)) for unit in units[:2]]
+            await asyncio.sleep(0.01)
+            closer = asyncio.create_task(service.close(drain=True))
+            await asyncio.sleep(0.01)
+            with pytest.raises(RuntimeError, match="draining"):
+                await service.submit(units[2])
+            await closer
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        results = asyncio.run(main())
+        assert all(isinstance(result, dict) for result in results), results
+
+    def test_drain_timeout_bounds_the_wait(self):
+        units = make_units(samples=1)[:2]
+
+        class StuckClient:
+            async def complete(self, messages):
+                await asyncio.sleep(3600)
+
+        async def main():
+            service = GenerationService(
+                ServiceConfig(max_in_flight=2, drain_timeout=0.1),
+                client_factory=lambda unit: StuckClient(),
+            )
+            await service.start()
+            tasks = [asyncio.create_task(service.submit(unit)) for unit in units]
+            await asyncio.sleep(0.01)
+            await asyncio.wait_for(service.close(drain=True), timeout=5)
+            done, pending = await asyncio.wait(tasks, timeout=5)
+            assert not pending, "drain timeout must still resolve submitters"
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        results = asyncio.run(main())
+        assert all(
+            isinstance(result, (RuntimeError, asyncio.CancelledError)) for result in results
+        ), results
+
+
+class TestCampaignHooks:
+    """Campaign resilience knobs thread through the service config."""
+
+    def test_real_executions_mark_the_priority_gate(self):
+        from repro.campaign.scheduler import PriorityGate, set_priority_gate
+
+        units = make_units(samples=1)[:4]
+        gate = PriorityGate()
+        set_priority_gate(gate)
+        try:
+            payloads, _ = serve_units(units, ServiceConfig(max_in_flight=2))
+        finally:
+            set_priority_gate(PriorityGate())
+        assert len(payloads) == len(units)
+        assert gate.marks == len(units)
+        assert not gate.busy  # every interactive section was closed
+
+    def test_llm_budget_is_charged_through_the_dispatcher(self):
+        from repro.campaign.budget import Budget
+
+        units = make_units(samples=1)[:4]
+        budget = Budget()
+        payloads, _ = serve_units(
+            units, ServiceConfig(max_in_flight=2, llm_budget=budget)
+        )
+        assert len(payloads) == len(units)
+        assert budget.spent > 0
+
+    def test_breaker_opens_and_fails_fast_on_transport_storm(self):
+        from repro.retry import BreakerOpenError, CircuitBreaker, TransportTimeout
+
+        units = make_units(samples=1)[:3]
+        attempts = []
+
+        class DeadTransport:
+            async def complete(self, messages):
+                attempts.append(True)
+                raise TransportTimeout("injected transport loss")
+
+        breaker = CircuitBreaker(1, 3600.0, name="llm")
+        config = ServiceConfig(
+            max_in_flight=1,
+            breaker=breaker,
+            retry=RetryPolicy(attempts=0, base_delay=0.01),
+        )
+
+        async def main():
+            service = GenerationService(
+                config, client_factory=lambda unit: DeadTransport()
+            )
+            await service.start()
+            results = await asyncio.gather(
+                *(service.submit(unit) for unit in units), return_exceptions=True
+            )
+            await service.close()
+            return results
+
+        results = asyncio.run(main())
+        assert all(isinstance(result, Exception) for result in results)
+        assert breaker.state == "open"
+        # Once open, jobs are rejected before touching the transport at all.
+        assert any(
+            isinstance(result, (BreakerOpenError, RuntimeError)) for result in results
+        )
+        assert len(attempts) < len(units) * 1 + 2
