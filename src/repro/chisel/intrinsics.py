@@ -299,9 +299,13 @@ def call_builtin(elab, expr: ast.MethodCall, scope, ctx, name_hint: str | None) 
         return max(0, (value - 1).bit_length())
     if name == "log2Up":
         value = _require_int(args[0], location, "log2Up")
+        if value <= 0:
+            raise ChiselError.at("log2Up requires a positive argument", location, code="A3")
         return max(1, (value - 1).bit_length()) if value > 1 else 1
     if name == "log2Floor":
         value = _require_int(args[0], location, "log2Floor")
+        if value <= 0:
+            raise ChiselError.at("log2Floor requires a positive argument", location, code="A3")
         return value.bit_length() - 1
     if name == "isPow2":
         value = _require_int(args[0], location, "isPow2")
@@ -315,9 +319,21 @@ def call_builtin(elab, expr: ast.MethodCall, scope, ctx, name_hint: str | None) 
             location,
             code="UNSUPPORTED",
         )
-    if name in ("Mem", "SyncReadMem", "Queue", "Counter", "Enum", "MuxCase", "MuxLookup"):
+    if name in ("Mem", "SyncReadMem"):
+        return _make_mem(args, location, ctx, name_hint, sync_read=(name == "SyncReadMem"))
+    if name in ("Queue", "Counter", "Enum", "MuxCase", "MuxLookup"):
+        # Each rejection names the nearest supported construct so generated
+        # repair suggestions stay actionable.
+        hints = {
+            "Queue": "build the FIFO explicitly from a Mem (or Reg-based shift "
+                     "register) with read/write pointer registers",
+            "Counter": "use a RegInit(0.U(w.W)) counter incremented with + 1.U",
+            "Enum": "use plain UInt literal states (val sIdle = 0.U(2.W); ...)",
+            "MuxCase": "use nested Mux(cond, value, default) expressions",
+            "MuxLookup": "use nested Mux(sel === key.U, value, default) expressions",
+        }
         raise ChiselError.at(
-            f"{name} is not supported by this Chisel subset",
+            f"{name} is not supported by this Chisel subset; {hints[name]}",
             location,
             code="UNSUPPORTED",
         )
@@ -613,6 +629,136 @@ def _make_vecinit(args, location, ctx, name_hint):
     return vec
 
 
+def _make_mem(args, location, ctx, name_hint, sync_read):
+    kind = "SyncReadMem" if sync_read else "Mem"
+    if len(args) != 2:
+        raise ChiselError.at(
+            f"{kind}(size, t) expects 2 arguments, found {len(args)}", location, code="A3"
+        )
+    size = _require_int(args[0], location, f"{kind} size")
+    if size < 1:
+        raise ChiselError.at(
+            f"{kind} size must be a positive Int, found {size}", location, code="A3"
+        )
+    element = _require_type(args[1], location, f"{kind} element")
+    if not isinstance(element, (v.UIntT, v.SIntT, v.BoolT)):
+        raise ChiselError.at(
+            f"{kind} elements must be ground types (UInt, SInt or Bool) in this "
+            f"Chisel subset, found {element.chisel_name()}",
+            location,
+            code="UNSUPPORTED",
+        )
+    if _type_width(element) is None:
+        raise ChiselError.at(
+            f"{kind} element type must have an explicit width (e.g. UInt(8.W))",
+            location,
+            code="A3",
+        )
+    clock = _implicit_clock(ctx, location)
+    mem_name = ctx.namer.reserve(name_hint or "_MEM")
+    ctx.emit(ir.DefMemory(mem_name, element.to_firrtl(), size, sync_read, clock, location))
+    return v.MemValue(mem_name, element, size, sync_read)
+
+
+def _mem_addr(mem: v.MemValue, arg: object, location: SourceLocation) -> v.HwValue:
+    addr = _require_hw(arg, location, f"{mem.kind_name()} address")
+    if not isinstance(addr.tpe, (v.UIntT, v.BoolT)):
+        raise ChiselError.at(
+            f"type mismatch;\n found   : {addr.type_name()}\n required: chisel3.UInt\n"
+            f"{mem.kind_name()} addresses must be UInt",
+            location,
+            code="B5",
+        )
+    return addr
+
+
+def _mem_access(mem: v.MemValue, addr: v.HwValue) -> ir.Expr:
+    return ir.SubAccess(ir.Reference(mem.name), addr.expr)
+
+
+def _mem_read(mem: v.MemValue, args, location, ctx, name_hint):
+    if not args:
+        raise ChiselError.at(
+            f"{mem.kind_name()}.read(addr) requires an address argument", location, code="A3"
+        )
+    addr = _mem_addr(mem, args[0], location)
+    if not mem.sync_read:
+        if len(args) != 1:
+            raise ChiselError.at(
+                "Mem.read(addr) expects 1 argument; the enable variant is only "
+                "available on SyncReadMem",
+                location,
+                code="A3",
+            )
+        # Combinational read; the SubAccess stays a legal connect target so
+        # ``mem(addr) := data`` works through the same value.
+        return v.HwValue(_mem_access(mem, addr), mem.element, v.BINDING_WIRE)
+    if len(args) > 2:
+        raise ChiselError.at(
+            f"SyncReadMem.read expects (addr) or (addr, enable), found {len(args)} "
+            "arguments",
+            location,
+            code="A3",
+        )
+    enable = None
+    if len(args) == 2:
+        enable = _require_hw(args[1], location, "SyncReadMem.read enable")
+        if not isinstance(enable.tpe, v.BoolT) and _type_width(enable.tpe) not in (1, None):
+            raise ChiselError.at(
+                f"type mismatch;\n found   : {enable.type_name()}\n required: chisel3.Bool",
+                location,
+                code="B5",
+            )
+    # Synchronous read: a hidden register captures the addressed element, so
+    # the value observed is the memory contents *before* this edge's writes
+    # (read-first semantics in every backend).
+    clock = _implicit_clock(ctx, location)
+    reg_name = ctx.namer.reserve(name_hint or "_MEM_rd")
+    ctx.emit(ir.DefRegister(reg_name, mem.element.to_firrtl(), clock, None, None, location))
+    connect = ir.Connect(ir.Reference(reg_name), _mem_access(mem, addr), location)
+    if enable is None:
+        ctx.emit(connect)
+    else:
+        ctx.emit(ir.Conditionally(enable.expr, ir.Block([connect]), ir.Block(), location))
+    return v.HwValue(ir.Reference(reg_name), mem.element, v.BINDING_NODE)
+
+
+def _mem_write(mem: v.MemValue, args, location, ctx):
+    if len(args) != 2:
+        raise ChiselError.at(
+            f"{mem.kind_name()}.write(addr, data) expects 2 arguments, found {len(args)}",
+            location,
+            code="A3",
+        )
+    addr = _mem_addr(mem, args[0], location)
+    data = _require_hw(args[1], location, f"{mem.kind_name()}.write data")
+    elem_signed = isinstance(mem.element, v.SIntT)
+    data_signed = isinstance(data.tpe, v.SIntT)
+    if elem_signed != data_signed:
+        raise ChiselError.at(
+            f"type mismatch;\n found   : {data.type_name()}\n "
+            f"required: {mem.element.chisel_name()}",
+            location,
+            code="B5",
+        )
+    ctx.emit(ir.Connect(_mem_access(mem, addr), data.expr, location))
+    return None
+
+
+def _mem_member(elab, mem: v.MemValue, name, args, location, ctx, name_hint):
+    if name == "read":
+        return _mem_read(mem, args, location, ctx, name_hint)
+    if name == "write":
+        return _mem_write(mem, args, location, ctx)
+    if name == "apply":
+        return apply_value(elab, mem, args, location)
+    if name in ("length", "size", "depth"):
+        return mem.depth
+    raise ChiselError.at(
+        f"value {name} is not a member of {mem.chisel_name()}", location, code="A1"
+    )
+
+
 # ---------------------------------------------------------------------------
 # Member calls (methods and field selection)
 # ---------------------------------------------------------------------------
@@ -651,6 +797,8 @@ def call_member(
             # extract or Vec indexing).
             return apply_value(elab, member, args, location)
         return member
+    if isinstance(target, v.MemValue):
+        return _mem_member(elab, target, name, args, location, ctx, name_hint)
     if isinstance(target, v.HwValue):
         return _hw_member(elab, target, name, args, type_args, location, ctx)
     if isinstance(target, (v.HwType, v.Directed)):
@@ -1058,6 +1206,24 @@ def apply_value(elab, target: object, args: list[object], location: SourceLocati
             location,
             code="B2",
         )
+    if isinstance(target, v.MemValue):
+        if target.sync_read:
+            raise ChiselError.at(
+                "SyncReadMem(addr) is ambiguous in this Chisel subset (the apply "
+                "form mixes a synchronous read port with a combinational write "
+                "address); use .read(addr) and .write(addr, data) instead",
+                location,
+                code="UNSUPPORTED",
+            )
+        if len(args) != 1:
+            raise ChiselError.at(
+                f"Too many arguments. Found {len(args)}, expected 1 for method "
+                "apply: (addr: UInt)",
+                location,
+                code="A3",
+            )
+        addr = _mem_addr(target, args[0], location)
+        return v.HwValue(_mem_access(target, addr), target.element, v.BINDING_WIRE)
     if isinstance(target, v.HwValue):
         return _apply_hw(target, args, location)
     raise ChiselError.at(

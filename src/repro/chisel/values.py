@@ -188,6 +188,29 @@ class HwValue:
 
 
 @dataclass
+class MemValue:
+    """An elaborated ``Mem``/``SyncReadMem``: addressable storage, not Data.
+
+    Memories are not hardware *values* — they cannot be connected, compared or
+    used in expressions directly.  Access goes through ``mem(addr)`` (for
+    combinational-read ``Mem``), ``mem.read(addr[, enable])`` and
+    ``mem.write(addr, data)``, all of which produce ordinary :class:`HwValue`
+    results or ``Connect`` statements against ``SubAccess(Reference(name), _)``.
+    """
+
+    name: str
+    element: HwType
+    depth: int
+    sync_read: bool
+
+    def kind_name(self) -> str:
+        return "SyncReadMem" if self.sync_read else "Mem"
+
+    def chisel_name(self) -> str:
+        return f"chisel3.{self.kind_name()}[{self.element.chisel_name()}]"
+
+
+@dataclass
 class BundleView:
     """The flattened view of an IO bundle: field name → member value.
 
@@ -220,6 +243,8 @@ def describe_value(value: object) -> str:
         return value.type_name()
     if isinstance(value, BundleView):
         return "chisel3.Bundle"
+    if isinstance(value, MemValue):
+        return value.chisel_name()
     if isinstance(value, HwType):
         return f"bare Chisel type {value.chisel_name()}"
     if isinstance(value, Directed):

@@ -272,6 +272,27 @@ class DefRegister(Stmt):
 
 
 @dataclass
+class DefMemory(Stmt):
+    """A memory of ``depth`` elements of ground ``type``.
+
+    Reads are expressed as ``SubAccess(Reference(name), addr)``; writes are
+    ``Connect`` statements whose target is such a ``SubAccess`` (optionally
+    nested under ``Conditionally`` for write enables).  ``sync_read`` records
+    whether the Chisel-level construct was ``SyncReadMem`` (the elaborator
+    models the one-cycle read latency with an explicit read register, so the
+    flag is informational for passes and emission).  Writes are always
+    synchronous to ``clock``.
+    """
+
+    name: str
+    type: Type
+    depth: int
+    sync_read: bool
+    clock: Expr
+    location: SourceLocation | None = None
+
+
+@dataclass
 class DefNode(Stmt):
     name: str
     value: Expr

@@ -69,6 +69,10 @@ class CheckCombLoops(Pass):
         for stmt in block.stmts:
             if isinstance(stmt, ir.DefRegister):
                 registers.add(stmt.name)
+            elif isinstance(stmt, ir.DefMemory):
+                # Memory writes are synchronous, so memories break cycles just
+                # like registers do.
+                registers.add(stmt.name)
             elif isinstance(stmt, ir.Connect):
                 root = ir.root_reference(stmt.target)
                 if root is None:

@@ -43,7 +43,9 @@ class InferWidths(Pass):
                 constraints.append((stmt.name, stmt.init))
             elif isinstance(stmt, ir.DefNode):
                 constraints.append((stmt.name, stmt.value))
-            if isinstance(stmt, (ir.DefWire, ir.DefRegister)):
+            if isinstance(stmt, (ir.DefWire, ir.DefRegister, ir.DefMemory)):
+                # Memory elements always carry an explicit width (enforced at
+                # elaboration), so connects to mem[addr] never widen them.
                 declarations.setdefault(stmt.name, stmt)
         declared_widths: dict[str, int | None] = {}
 

@@ -45,6 +45,9 @@ class LowerTypes(Pass):
         # name -> (type, view of flattened references)
         self.views: dict[str, object] = {}
         self.types: dict[str, ir.Type] = {}
+        # Memories stay addressed (never flattened); their names gate the
+        # SubAccess write-target passthrough below.
+        self.memories: set[str] = set()
 
         ports: list[ir.Port] = []
         for port in module.ports:
@@ -128,6 +131,15 @@ class LowerTypes(Pass):
                 out.append(
                     ir.DefRegister(stmt.name, stmt.type, clock, reset, init, stmt.location)
                 )
+            return
+        if isinstance(stmt, ir.DefMemory):
+            self.memories.add(stmt.name)
+            clock = self._lower_ground(stmt.clock, stmt.location)
+            out.append(
+                ir.DefMemory(
+                    stmt.name, stmt.type, stmt.depth, stmt.sync_read, clock, stmt.location
+                )
+            )
             return
         if isinstance(stmt, ir.DefNode):
             out.append(ir.DefNode(stmt.name, self._lower_ground(stmt.value, stmt.location), stmt.location))
@@ -300,6 +312,12 @@ class LowerTypes(Pass):
             results = []
             for condition, view in alternatives:
                 if not isinstance(view, AggVec):
+                    if isinstance(view, ir.Expr):
+                        root = ir.root_reference(view)
+                        if root is not None and root.name in self.memories:
+                            # Memory writes stay addressed: mem[addr] <= value.
+                            results.append((condition, ir.SubAccess(view, index)))
+                            continue
                     self.diagnostics.error(
                         "dynamic indexing on a non-Vec connection target", location, code="B5"
                     )

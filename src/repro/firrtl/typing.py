@@ -45,6 +45,11 @@ class SymbolTable:
             elif isinstance(stmt, ir.DefRegister):
                 self.types[stmt.name] = stmt.type
                 self.kinds[stmt.name] = "reg"
+            elif isinstance(stmt, ir.DefMemory):
+                # A memory types as a vector of its element type, so SubAccess
+                # reads/writes resolve to the element through the normal path.
+                self.types[stmt.name] = ir.VectorType(stmt.type, stmt.depth)
+                self.kinds[stmt.name] = "mem"
             elif isinstance(stmt, ir.DefNode):
                 self.kinds[stmt.name] = "node"
                 # Node types are computed lazily once all declarations are known.

@@ -36,6 +36,7 @@ ALL_FEATURES = (
     "nested_bundle",  # nested anonymous Bundles in the IO
     "named_bundle",  # named (optionally parameterized) Bundle classes
     "multi_module",  # sibling module classes in one source file
+    "mem",  # Mem/SyncReadMem: addressed writes, comb + sync read ports
 )
 
 

@@ -439,6 +439,48 @@ class _ModuleGen:
         self.lines.append("  }")
         self.uints.append(_Num(name, width))
 
+    def _stmt_mem(self, depth: int) -> None:
+        """A Mem or SyncReadMem with one write port and one read port.
+
+        Depths include non-powers-of-two so some generated addresses fall out
+        of range, exercising the OOB seam (reads collapse to 0, writes drop)
+        identically across backends.  The write enable rides inside the mem
+        idiom, so a ``--features mem``-only session still generates it.
+        """
+        self._use("mem")
+        self.sequential = True
+        name = self._fresh("m")
+        words = self.rng.choice((2, 3, 4, 8))
+        addr_width = max(1, (words - 1).bit_length())
+        width = self._width()
+        waddr = self._fit(self._uint_expr(depth - 1), addr_width)
+        wdata = self._fit(self._uint_expr(depth - 1), width)
+        raddr = self._fit(self._uint_expr(depth - 1), addr_width)
+        if self.rng.random() < 0.5:
+            # SyncReadMem: synchronous read-first port, optionally enabled,
+            # so read-during-write lands on the old data in every backend.
+            self.lines.append(f"  val {name} = SyncReadMem({words}, UInt({width}.W))")
+            self.lines.append(f"  when ({self._bool_expr(depth - 1)}) {{")
+            self.lines.append(f"    {name}.write({waddr.expr}, {wdata.expr})")
+            self.lines.append("  }")
+            rd = self._fresh("rd")
+            if self.rng.random() < 0.5:
+                enable = self._bool_expr(depth - 1)
+                self.lines.append(f"  val {rd} = {name}.read({raddr.expr}, {enable})")
+            else:
+                self.lines.append(f"  val {rd} = {name}.read({raddr.expr})")
+            self.uints.append(_Num(rd, width))
+        else:
+            # Mem: combinational read, synchronous write (apply or .write form).
+            self.lines.append(f"  val {name} = Mem({words}, UInt({width}.W))")
+            if self.rng.random() < 0.7:
+                self.lines.append(f"  when ({self._bool_expr(depth - 1)}) {{")
+                self.lines.append(f"    {name}({waddr.expr}) := {wdata.expr}")
+                self.lines.append("  }")
+            else:
+                self.lines.append(f"  {name}.write({waddr.expr}, {wdata.expr})")
+            self.uints.append(_Num(f"{name}({raddr.expr})", width))
+
     def _stmt_sint_val(self, depth: int) -> None:
         self._use("sint")
         name = self._fresh("s")
@@ -485,6 +527,8 @@ class _ModuleGen:
             menu.append("fsm")
         if self.config.enabled("sint"):
             menu.append("sint_val")
+        if self.config.enabled("mem"):
+            menu.append("mem")
 
         statements = self.rng.randint(2, self.budget)
         for _ in range(statements):
@@ -505,6 +549,8 @@ class _ModuleGen:
                 self._stmt_fsm(depth)
             elif kind == "sint_val":
                 self._stmt_sint_val(depth)
+            elif kind == "mem":
+                self._stmt_mem(depth)
 
         drives: list[str] = []
         for out_name, kind, width in outputs:

@@ -16,7 +16,12 @@ Table II injections provided by :mod:`repro.problems.mutations`.
 """
 
 from repro.problems.base import IoPort, Problem, TextFault
-from repro.problems.registry import ProblemRegistry, build_default_registry
+from repro.problems.registry import (
+    ProblemRegistry,
+    build_default_registry,
+    build_extended_registry,
+    build_memory_family,
+)
 
 __all__ = [
     "IoPort",
@@ -24,4 +29,6 @@ __all__ = [
     "TextFault",
     "ProblemRegistry",
     "build_default_registry",
+    "build_extended_registry",
+    "build_memory_family",
 ]

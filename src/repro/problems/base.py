@@ -11,8 +11,10 @@ from repro.sim.testbench import Testbench
 SUITE_VERILOGEVAL = "verilogeval_s2r"
 SUITE_HDLBITS = "hdlbits"
 SUITE_RTLLM = "rtllm"
+SUITE_MEMORY = "memory"  # extension suite beyond the paper's 216 cases
 
 SUITES = (SUITE_VERILOGEVAL, SUITE_HDLBITS, SUITE_RTLLM)
+EXTENDED_SUITES = SUITES + (SUITE_MEMORY,)
 
 
 @dataclass(frozen=True)

@@ -7,6 +7,6 @@ faults.  The registry (:mod:`repro.problems.registry`) instantiates families
 over widths/parameters to build the 216-case benchmark.
 """
 
-from repro.problems.families import arithmetic, combinational, fsm, sequential
+from repro.problems.families import arithmetic, combinational, fsm, memory, sequential
 
-__all__ = ["combinational", "sequential", "fsm", "arithmetic"]
+__all__ = ["combinational", "sequential", "fsm", "arithmetic", "memory"]

@@ -1,0 +1,222 @@
+"""Memory benchmark problem family: register files and FIFOs.
+
+These designs exercise the ``Mem``/``SyncReadMem`` surface end-to-end —
+addressed synchronous writes, combinational and synchronous (read-first) read
+ports, and pointer-managed circular buffers.  They extend the benchmark
+beyond the paper's 216 register/FSM-level cases (ROADMAP "Scenario
+expansion"), so the registry keeps them in a separate ``memory`` suite
+reachable via :func:`~repro.problems.registry.build_extended_registry`.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.problems.base import SUITE_MEMORY, IoPort, Problem, TextFault
+from repro.problems.testbenches import sequential_testbench
+
+_HEADER = "import chisel3._\nimport chisel3.util._\n\n"
+
+
+def _mem_problem(
+    problem_id: str,
+    name: str,
+    description: str,
+    inputs: list[IoPort],
+    outputs: list[IoPort],
+    golden: str,
+    faults: list[TextFault],
+    bias: dict[str, float] | None = None,
+) -> Problem:
+    return Problem(
+        problem_id=problem_id,
+        suite=SUITE_MEMORY,
+        name=name,
+        description=description,
+        inputs=inputs,
+        outputs=outputs,
+        golden_chisel=golden,
+        testbench_builder=functools.partial(sequential_testbench, inputs, bias=bias),
+        sequential=True,
+        functional_faults=faults,
+        tags=["sequential", "memory"],
+    )
+
+
+def register_file(width: int, depth: int) -> Problem:
+    """A ``Mem``-based register file: sync write, combinational read."""
+    addr = max(1, (depth - 1).bit_length())
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val wen = Input(Bool())
+    val waddr = Input(UInt({addr}.W))
+    val wdata = Input(UInt({width}.W))
+    val raddr = Input(UInt({addr}.W))
+    val rdata = Output(UInt({width}.W))
+  }})
+  val regs = Mem({depth}, UInt({width}.W))
+  when (io.wen) {{
+    regs(io.waddr) := io.wdata
+  }}
+  io.rdata := regs(io.raddr)
+}}
+"""
+    return _mem_problem(
+        f"regfile_w{width}_d{depth}",
+        f"{depth}x{width} register file",
+        f"Implement a register file with {depth} entries of {width} bits. "
+        "On a rising clock edge, when `wen` is 1 the entry at `waddr` captures "
+        "`wdata`. `rdata` continuously (combinationally) presents the entry at "
+        "`raddr`; a write becomes visible to reads only after its clock edge. "
+        "Entries power up as 0 and are not cleared by reset.",
+        [IoPort("wen", 1), IoPort("waddr", addr), IoPort("wdata", width), IoPort("raddr", addr)],
+        [IoPort("rdata", width)],
+        golden,
+        [
+            TextFault(
+                "func_wen_ignored",
+                "write-enable ignored, every cycle writes",
+                "when (io.wen) {\n    regs(io.waddr) := io.wdata\n  }",
+                "regs(io.waddr) := io.wdata",
+            ),
+            TextFault(
+                "func_read_crossed",
+                "read port wired to the write address",
+                "io.rdata := regs(io.raddr)",
+                "io.rdata := regs(io.waddr)",
+            ),
+        ],
+        bias={"wen": 0.7},
+    )
+
+
+def sync_register_file(width: int, depth: int) -> Problem:
+    """A ``SyncReadMem``-based register file: read-first synchronous read."""
+    addr = max(1, (depth - 1).bit_length())
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val wen = Input(Bool())
+    val waddr = Input(UInt({addr}.W))
+    val wdata = Input(UInt({width}.W))
+    val ren = Input(Bool())
+    val raddr = Input(UInt({addr}.W))
+    val rdata = Output(UInt({width}.W))
+  }})
+  val regs = SyncReadMem({depth}, UInt({width}.W))
+  when (io.wen) {{
+    regs.write(io.waddr, io.wdata)
+  }}
+  io.rdata := regs.read(io.raddr, io.ren)
+}}
+"""
+    return _mem_problem(
+        f"sync_regfile_w{width}_d{depth}",
+        f"{depth}x{width} synchronous-read register file",
+        f"Implement a register file with {depth} entries of {width} bits and a "
+        "synchronous read port. On a rising clock edge, when `wen` is 1 the "
+        "entry at `waddr` captures `wdata`; when `ren` is 1 `rdata` captures "
+        "the entry at `raddr` (one-cycle read latency), otherwise `rdata` "
+        "holds its previous value. A read and a write to the same address in "
+        "the same cycle return the old (pre-write) data. Entries power up as "
+        "0 and are not cleared by reset.",
+        [
+            IoPort("wen", 1),
+            IoPort("waddr", addr),
+            IoPort("wdata", width),
+            IoPort("ren", 1),
+            IoPort("raddr", addr),
+        ],
+        [IoPort("rdata", width)],
+        golden,
+        [
+            TextFault(
+                "func_ren_ignored",
+                "read-enable ignored, reads every cycle",
+                "regs.read(io.raddr, io.ren)",
+                "regs.read(io.raddr)",
+            ),
+        ],
+        bias={"wen": 0.7, "ren": 0.7},
+    )
+
+
+def fifo(width: int, depth: int) -> Problem:
+    """A circular-buffer FIFO built from a ``Mem`` plus pointer registers.
+
+    ``depth`` must be a power of two so the pointers wrap for free.
+    """
+    if depth & (depth - 1):
+        raise ValueError("fifo depth must be a power of two")
+    ptr = max(1, (depth - 1).bit_length())
+    cnt = ptr + 1
+    golden = _HEADER + f"""class TopModule extends Module {{
+  val io = IO(new Bundle {{
+    val push = Input(Bool())
+    val pop = Input(Bool())
+    val din = Input(UInt({width}.W))
+    val dout = Output(UInt({width}.W))
+    val empty = Output(Bool())
+    val full = Output(Bool())
+    val count = Output(UInt({cnt}.W))
+  }})
+  val buf = Mem({depth}, UInt({width}.W))
+  val rptr = RegInit(0.U({ptr}.W))
+  val wptr = RegInit(0.U({ptr}.W))
+  val count = RegInit(0.U({cnt}.W))
+  val empty = count === 0.U
+  val full = count === {depth}.U
+  val doPush = io.push && !full
+  val doPop = io.pop && !empty
+  when (doPush) {{
+    buf(wptr) := io.din
+    wptr := wptr + 1.U
+  }}
+  when (doPop) {{
+    rptr := rptr + 1.U
+  }}
+  when (doPush && !doPop) {{
+    count := count + 1.U
+  }} .elsewhen (doPop && !doPush) {{
+    count := count - 1.U
+  }}
+  io.dout := buf(rptr)
+  io.empty := empty
+  io.full := full
+  io.count := count
+}}
+"""
+    return _mem_problem(
+        f"fifo_w{width}_d{depth}",
+        f"{depth}-entry {width}-bit FIFO",
+        f"Implement a synchronous FIFO holding up to {depth} entries of "
+        f"{width} bits, backed by a circular buffer with read/write pointers. "
+        "On a rising clock edge a push (`push`=1, not full) stores `din` at "
+        "the tail; a pop (`pop`=1, not empty) advances the head. Pushes into "
+        "a full FIFO and pops from an empty FIFO are ignored. `dout` "
+        "continuously presents the head entry, `count` the number of stored "
+        "entries, and `empty`/`full` flag the boundary states. A synchronous "
+        "active-high reset empties the FIFO (pointers and count return to 0).",
+        [IoPort("push", 1), IoPort("pop", 1), IoPort("din", width)],
+        [
+            IoPort("dout", width),
+            IoPort("empty", 1),
+            IoPort("full", 1),
+            IoPort("count", cnt),
+        ],
+        golden,
+        [
+            TextFault(
+                "func_full_off_by_one",
+                f"full asserted at {depth - 1} entries",
+                f"count === {depth}.U",
+                f"count === {depth - 1}.U",
+            ),
+            TextFault(
+                "func_push_when_full",
+                "push overwrites when full",
+                "val doPush = io.push && !full",
+                "val doPush = io.push",
+            ),
+        ],
+        bias={"push": 0.6, "pop": 0.5},
+    )

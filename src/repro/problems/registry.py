@@ -17,9 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.problems.base import SUITE_HDLBITS, SUITE_RTLLM, SUITE_VERILOGEVAL, Problem
-from repro.problems.families import arithmetic, combinational, fsm, sequential
+from repro.problems.families import arithmetic, combinational, fsm, memory, sequential
 
 EXPECTED_PROBLEM_COUNT = 216
+MEMORY_PROBLEM_COUNT = 10
 
 
 @dataclass
@@ -158,4 +159,39 @@ def build_default_registry() -> ProblemRegistry:
         raise AssertionError(
             f"benchmark registry has {count} problems, expected {EXPECTED_PROBLEM_COUNT}"
         )
+    return registry
+
+
+def build_memory_family() -> list[Problem]:
+    """The ``memory`` extension family: register files and FIFOs.
+
+    Kept out of :func:`build_default_registry` so the paper's exact 216-case
+    benchmark stays intact; :func:`build_extended_registry` appends these for
+    sweeps that include the memory language surface (ROADMAP "Scenario
+    expansion").
+    """
+    problems: list[Problem] = []
+    for width, depth in ((4, 4), (8, 8), (16, 4)):
+        problems.append(memory.register_file(width, depth))
+    for width, depth in ((4, 4), (8, 8), (16, 4)):
+        problems.append(memory.sync_register_file(width, depth))
+    for width, depth in ((4, 4), (8, 4), (8, 8), (16, 8)):
+        problems.append(memory.fifo(width, depth))
+    if len(problems) != MEMORY_PROBLEM_COUNT:
+        raise AssertionError(
+            f"memory family has {len(problems)} problems, expected {MEMORY_PROBLEM_COUNT}"
+        )
+    return problems
+
+
+def build_extended_registry() -> ProblemRegistry:
+    """The paper's 216 cases plus the ``memory`` extension suite.
+
+    Drop-in wherever :func:`build_default_registry` is accepted (e.g.
+    ``SweepEngine(registry=build_extended_registry())``), so the memory
+    family runs through the standard sweep/campaign path unchanged.
+    """
+    registry = build_default_registry()
+    for problem in build_memory_family():
+        registry.add(problem)
     return registry

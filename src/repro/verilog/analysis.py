@@ -49,10 +49,15 @@ class SignalMeta:
     width: int
     signed: bool
     is_input: bool
+    depth: int | None = None  # memory arrays: number of elements
 
     @property
     def mask(self) -> int:
         return bit_mask(self.width)
+
+    @property
+    def is_memory(self) -> bool:
+        return self.depth is not None
 
 
 @dataclass
@@ -91,21 +96,25 @@ class ModuleAnalysis:
     def _build_signal_table(self) -> None:
         # Mirrors Simulation.__post_init__: ports first, then nets; an
         # ``output reg q`` style re-declaration refines signedness only.
-        widths: dict[str, tuple[int, bool, bool]] = {}
+        widths: dict[str, tuple[int, bool, bool, int | None]] = {}
         order: list[str] = []
         for port in self.module.ports:
-            widths[port.name] = (port.width, port.signed, port.direction == "input")
+            widths[port.name] = (port.width, port.signed, port.direction == "input", None)
             order.append(port.name)
         for net in self.module.nets:
             if net.name in widths:
-                width, signed, is_input = widths[net.name]
-                widths[net.name] = (width, signed or net.signed, is_input)
+                width, signed, is_input, depth = widths[net.name]
+                widths[net.name] = (width, signed or net.signed, is_input, depth)
                 continue
-            widths[net.name] = (net.width, net.signed, False)
+            widths[net.name] = (net.width, net.signed, False, net.depth)
             order.append(net.name)
         for slot, name in enumerate(order):
-            width, signed, is_input = widths[name]
-            self.signals[name] = SignalMeta(name, slot, width, signed, is_input)
+            width, signed, is_input, depth = widths[name]
+            self.signals[name] = SignalMeta(name, slot, width, signed, is_input, depth)
+
+    def memories(self) -> list[SignalMeta]:
+        """All declared memory arrays, in slot order."""
+        return [meta for meta in self.signals.values() if meta.is_memory]
 
     def meta(self, name: str) -> SignalMeta:
         try:
@@ -148,6 +157,11 @@ class ModuleAnalysis:
         if isinstance(expr, vast.VRepeat):
             return expr.count * self.width(expr.value)
         if isinstance(expr, vast.VIndex):
+            if isinstance(expr.target, vast.VIdent):
+                meta = self.meta(expr.target.name)
+                if meta.is_memory:
+                    # Element select of a memory array yields the element width.
+                    return meta.width
             return 1
         if isinstance(expr, vast.VRange):
             return expr.msb - expr.lsb + 1
@@ -181,6 +195,11 @@ class ModuleAnalysis:
             return self.signedness(expr.left) and self.signedness(expr.right)
         if isinstance(expr, vast.VTernary):
             return self.signedness(expr.true_value) and self.signedness(expr.false_value)
+        if isinstance(expr, vast.VIndex) and isinstance(expr.target, vast.VIdent):
+            meta = self.meta(expr.target.name)
+            if meta.is_memory:
+                # Element select of a signed memory array stays signed.
+                return meta.signed
         return False
 
     # ------------------------------------------------------------- dependencies

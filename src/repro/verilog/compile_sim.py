@@ -84,9 +84,13 @@ class KernelTemplate:
     comb: Callable[[list[int]], None]
     steps: dict[str, Callable[[list[int]], None]] = field(default_factory=dict)
     source: str = ""
+    memory_slots: dict[int, int] = field(default_factory=dict)  # slot -> depth
 
     def new_state(self) -> list[int]:
-        return [0] * self.n_slots
+        state: list = [0] * self.n_slots
+        for slot, depth in self.memory_slots.items():
+            state[slot] = [0] * depth
+        return state
 
 
 def _sx(code: str, width: int) -> str:
@@ -137,6 +141,11 @@ class _Codegen:
         a = self.a
         if isinstance(expr, vast.VIdent):
             meta = a.meta(expr.name)
+            if meta.is_memory:
+                raise AnalysisError(
+                    f"memory {expr.name!r} used as a plain value in module "
+                    f"{self.a.module.name}"
+                )
             base = read(expr.name)
             if w == meta.width:
                 return base
@@ -178,6 +187,18 @@ class _Codegen:
             stamp = sum(1 << (i * pw) for i in range(expr.count))
             return f"(({code}) * {stamp})"
         if isinstance(expr, vast.VIndex):
+            if isinstance(expr.target, vast.VIdent):
+                meta = a.meta(expr.target.name)
+                if meta.is_memory:
+                    # Memory element gather; out-of-range reads collapse to 0.
+                    t = read(expr.target.name)
+                    i = self.gen(expr.index, a.width(expr.index), read)
+                    base = f"(({t})[({i})] if ({i}) < {meta.depth} else 0)"
+                    if w < meta.width:
+                        return f"({base} & {_mask(w)})"
+                    if w > meta.width and meta.signed:
+                        return f"({_sx(base, meta.width)} & {_mask(w)})"
+                    return base
             tw = a.width(expr.target)
             t = self.gen(expr.target, tw, read)
             if isinstance(expr.index, vast.VLiteral):
@@ -281,6 +302,11 @@ class _Codegen:
         a = self.a
         if isinstance(target, vast.VIdent):
             meta = a.meta(target.name)
+            if meta.is_memory:
+                raise AnalysisError(
+                    f"whole-memory assignment to {target.name!r} in module "
+                    f"{self.a.module.name}"
+                )
             cw = max(a.width(value), meta.width)
             code = self.gen(value, cw, read)
             if cw > meta.width:
@@ -291,6 +317,20 @@ class _Codegen:
             if not isinstance(target.target, vast.VIdent):
                 raise AnalysisError(f"unsupported assignment target {target!r}")
             meta = a.meta(target.target.name)
+            if meta.is_memory:
+                # Memory element scatter; out-of-range writes are dropped.
+                cw = max(a.width(value), meta.width)
+                code = self.gen(value, cw, read)
+                if cw > meta.width:
+                    code = f"({code}) & {meta.mask}"
+                lv = store.lvalue(meta)
+                tmp = self.fresh()
+                self.emit(
+                    indent, f"{tmp} = {self.gen(target.index, a.width(target.index), read)}"
+                )
+                self.emit(indent, f"if {tmp} < {meta.depth}:")
+                self.emit(indent + 1, f"{lv}[{tmp}] = {code}")
+                return
             cw = max(a.width(value), 1)
             bit = f"({self.gen(value, cw, read)}) & 1"
             lv = store.lvalue(meta)
@@ -462,14 +502,25 @@ def compile_kernel(module: vast.VModule, analysis: ModuleAnalysis | None = None)
                     seen_pending.add(slot)
                     pending_slots.append(slot)
             for name in blocking:
-                analysis.meta(name)  # force unknown-signal detection
+                if analysis.meta(name).is_memory:
+                    # The interpreter persists blocking memory writes in
+                    # clocked blocks; the _b temps here would discard them.
+                    raise AnalysisError(
+                        f"blocking write to memory {name!r} in a clocked block "
+                        f"of module {module.name}"
+                    )
             block_plans.append((block, blocking))
 
+        memory_depth_by_slot = {m.slot: m.depth for m in analysis.memories()}
         gen.emit(0, f"def {function}(s):")
         if not blocks:
             gen.emit(1, "pass")
         for slot in pending_slots:
-            gen.emit(1, f"_n{slot} = s[{slot}]")
+            if slot in memory_depth_by_slot:
+                # Copy so same-edge reads via s observe the old contents.
+                gen.emit(1, f"_n{slot} = s[{slot}][:]")
+            else:
+                gen.emit(1, f"_n{slot} = s[{slot}]")
         for block_index, (block, blocking) in enumerate(block_plans):
             blocking_slots = sorted(analysis.meta(name).slot for name in blocking)
             for slot in blocking_slots:
@@ -501,6 +552,7 @@ def compile_kernel(module: vast.VModule, analysis: ModuleAnalysis | None = None)
         comb=namespace["comb"],
         steps={clock: namespace[function] for clock, function in step_names.items()},
         source=source,
+        memory_slots={m.slot: m.depth for m in analysis.memories()},
     )
 
 

@@ -182,6 +182,32 @@ if HAVE_NUMPY:
             x = x ^ (x >> np.uint64(s))
         return x & _ONE
 
+    def _mem_rd(plane, addr):
+        """Per-lane gather from a (depth, lanes) memory plane; OOB reads 0."""
+        depth, lanes = plane.shape
+        a = np.broadcast_to(_u(addr), (lanes,))
+        ok = a < np.uint64(depth)
+        idx = np.where(ok, a, _Z).astype(np.int64)
+        return np.where(ok, plane[idx, np.arange(lanes)], _Z)
+
+    def _mem_wr(plane, addr, data, pred):
+        """Lane-masked scatter returning a fresh plane; OOB writes dropped.
+
+        Copying (never mutating) keeps the rebind-not-mutate discipline the
+        clocked-block temps rely on: the pre-edge plane aliased by s[slot]
+        stays intact until the non-blocking commit rebinds it.
+        """
+        depth, lanes = plane.shape
+        a = np.broadcast_to(_u(addr), (lanes,))
+        ok = a < np.uint64(depth)
+        if pred is not True:
+            ok = ok & np.broadcast_to(pred, (lanes,))
+        d = np.broadcast_to(_u(data), (lanes,))
+        new = plane.copy()
+        sel = np.nonzero(ok)[0]
+        new[a.astype(np.int64)[sel], sel] = d[sel]
+        return new
+
     _NAMESPACE = {
         "np": np,
         "_u": _u,
@@ -196,6 +222,8 @@ if HAVE_NUMPY:
         "_sdiv": _sdiv,
         "_srem": _srem,
         "_parity": _parity,
+        "_mem_rd": _mem_rd,
+        "_mem_wr": _mem_wr,
     }
 
 
@@ -242,6 +270,11 @@ class _VecCodegen:
         a = self.a
         if isinstance(expr, vast.VIdent):
             meta = a.meta(expr.name)
+            if meta.is_memory:
+                raise AnalysisError(
+                    f"memory {expr.name!r} used as a plain value in module "
+                    f"{self.a.module.name}"
+                )
             base = read(expr.name)
             if w == meta.width:
                 return base
@@ -289,6 +322,16 @@ class _VecCodegen:
             stamp = sum(1 << (i * pw) for i in range(expr.count))
             return f"((_u({code})) * {stamp})"
         if isinstance(expr, vast.VIndex):
+            if isinstance(expr.target, vast.VIdent):
+                meta = a.meta(expr.target.name)
+                if meta.is_memory:
+                    i = self.gen(expr.index, a.width(expr.index), read)
+                    base = f"_mem_rd({read(expr.target.name)}, {i})"
+                    if w < meta.width:
+                        return f"({base} & {_mask(w)})"
+                    if w > meta.width and meta.signed:
+                        return f"({_sx(base, meta.width)} & {_mask(w)})"
+                    return base
             tw = a.width(expr.target)
             t = self.gen(expr.target, tw, read)
             if isinstance(expr.index, vast.VLiteral):
@@ -401,6 +444,11 @@ class _VecCodegen:
         a = self.a
         if isinstance(target, vast.VIdent):
             meta = a.meta(target.name)
+            if meta.is_memory:
+                raise AnalysisError(
+                    f"whole-memory assignment to {target.name!r} in module "
+                    f"{self.a.module.name}"
+                )
             cw = max(a.width(value), meta.width)
             code = self.gen(value, cw, read)
             if cw > meta.width:
@@ -415,6 +463,20 @@ class _VecCodegen:
             if not isinstance(target.target, vast.VIdent):
                 raise AnalysisError(f"unsupported assignment target {target!r}")
             meta = a.meta(target.target.name)
+            if meta.is_memory:
+                cw = max(a.width(value), meta.width)
+                code = self.gen(value, cw, read)
+                if cw > meta.width:
+                    code = f"({code}) & {meta.mask}"
+                lv = store.lvalue(meta)
+                tmp = self.fresh()
+                self.emit(
+                    indent,
+                    f"{tmp} = {self.gen(target.index, a.width(target.index), read)}",
+                )
+                p = "True" if pred is None else pred
+                self.emit(indent, f"{lv} = _mem_wr({lv}, {tmp}, {code}, {p})")
+                return
             cw = max(a.width(value), 1)
             bit = f"({self.gen(value, cw, read)}) & 1"
             lv = store.lvalue(meta)
@@ -560,9 +622,13 @@ class VecKernelTemplate:
     comb: Callable[[list], None]
     steps: dict[str, Callable[[list], None]]
     source: str = ""
+    memory_slots: dict[int, int] = None  # slot -> depth; planes are (depth, lanes)
 
     def new_state(self, lanes: int) -> list:
-        return [np.zeros(lanes, dtype=np.uint64) for _ in range(self.n_slots)]
+        state = [np.zeros(lanes, dtype=np.uint64) for _ in range(self.n_slots)]
+        for slot, depth in (self.memory_slots or {}).items():
+            state[slot] = np.zeros((depth, lanes), dtype=np.uint64)
+        return state
 
 
 def compile_vec_kernel(
@@ -624,7 +690,13 @@ def compile_vec_kernel(
                     seen_pending.add(slot)
                     pending_slots.append(slot)
             for name in blocking:
-                analysis.meta(name)  # force unknown-signal detection
+                if analysis.meta(name).is_memory:
+                    # Mirrors the scalar backend: the interpreter persists
+                    # blocking memory writes; the _b temps here would not.
+                    raise AnalysisError(
+                        f"blocking write to memory {name!r} in a clocked block "
+                        f"of module {module.name}"
+                    )
             block_plans.append((block, blocking))
 
         gen.emit(0, f"def {function}(s):")
@@ -667,6 +739,7 @@ def compile_vec_kernel(
         comb=namespace["comb"],
         steps={clock: namespace[function] for clock, function in step_names.items()},
         source=source,
+        memory_slots={m.slot: m.depth for m in analysis.memories()},
     )
 
 # ---------------------------------------------------------------------------

@@ -51,7 +51,7 @@ class _ModuleEmitter:
         lines.append(",\n".join(port_lines))
         lines.append(");")
 
-        wires, registers, nodes = self._collect_declarations()
+        wires, registers, nodes, memories = self._collect_declarations()
 
         for name, tpe in nodes:
             lines.append(f"  wire {self._range_of(tpe)}{name};")
@@ -59,7 +59,11 @@ class _ModuleEmitter:
             lines.append(f"  wire {self._range_of(tpe)}{name};")
         for stmt in registers:
             lines.append(f"  reg {self._range_of(stmt.type)}{stmt.name};")
-        if wires or registers or nodes:
+        for stmt in memories:
+            lines.append(
+                f"  reg {self._range_of(stmt.type)}{stmt.name} [0:{stmt.depth - 1}];"
+            )
+        if wires or registers or nodes or memories:
             lines.append("")
 
         # Nodes: single unconditional assignment by construction.
@@ -81,6 +85,14 @@ class _ModuleEmitter:
             lines.append("")
             lines.extend(self._emit_register(stmt))
 
+        # Memories: one clocked always block per memory with every addressed
+        # write retained (last-connect folding would drop distinct addresses).
+        for stmt in memories:
+            block = self._emit_memory(stmt)
+            if block:
+                lines.append("")
+                lines.extend(block)
+
         lines.append("endmodule")
         return "\n".join(lines)
 
@@ -90,18 +102,21 @@ class _ModuleEmitter:
         wires: list[tuple[str, ir.Type]] = []
         registers: list[ir.DefRegister] = []
         nodes: list[tuple[str, ir.Type]] = []
+        memories: list[ir.DefMemory] = []
         for stmt in ir.walk_stmts(self.module.body):
             if isinstance(stmt, ir.DefWire):
                 wires.append((stmt.name, stmt.type))
             elif isinstance(stmt, ir.DefRegister):
                 registers.append(stmt)
+            elif isinstance(stmt, ir.DefMemory):
+                memories.append(stmt)
             elif isinstance(stmt, ir.DefNode):
                 try:
                     tpe = type_of(stmt.value, self.table)
                 except TypeError_ as exc:
                     raise EmitterError(str(exc)) from None
                 nodes.append((stmt.name, tpe))
-        return wires, registers, nodes
+        return wires, registers, nodes, memories
 
     def _walk_nodes(self):
         for stmt in ir.walk_stmts(self.module.body):
@@ -168,6 +183,51 @@ class _ModuleEmitter:
         else:
             lines.append(f"    {stmt.name} <= {self._emit_expr(next_value)};")
         lines.append("  end")
+        return lines
+
+    # --------------------------------------------------------------- memories
+
+    def _emit_memory(self, stmt: ir.DefMemory) -> list[str]:
+        body = self._memory_writes(stmt.name, self.module.body, "    ")
+        if not body:
+            return []
+        clock = self._emit_expr(stmt.clock)
+        return [f"  always @(posedge {clock}) begin"] + body + ["  end"]
+
+    def _memory_writes(self, name: str, block: ir.Block, indent: str) -> list[str]:
+        """Emit every write to memory ``name``, preserving statement order.
+
+        Unlike ``_final_expression`` this keeps *all* addressed writes: two
+        connects to different (or even the same) dynamic addresses must each
+        produce a non-blocking assign so the in-order last-write-wins
+        semantics of the always block matches FIRRTL last-connect.
+        """
+        lines: list[str] = []
+        for stmt in block.stmts:
+            if isinstance(stmt, ir.Connect) and isinstance(stmt.target, ir.SubAccess):
+                root = ir.root_reference(stmt.target)
+                if root is not None and root.name == name:
+                    addr = self._emit_expr(stmt.target.index)
+                    lines.append(f"{indent}{name}[{addr}] <= {self._emit_expr(stmt.value)};")
+            elif isinstance(stmt, ir.Conditionally):
+                conseq = self._memory_writes(name, stmt.conseq, indent + "  ")
+                alt = self._memory_writes(name, stmt.alt, indent + "  ")
+                if not conseq and not alt:
+                    continue
+                pred = self._emit_expr(stmt.predicate)
+                if conseq:
+                    lines.append(f"{indent}if ({pred}) begin")
+                    lines.extend(conseq)
+                    if alt:
+                        lines.append(f"{indent}end else begin")
+                        lines.extend(alt)
+                    lines.append(f"{indent}end")
+                else:
+                    lines.append(f"{indent}if ((~{pred})) begin")
+                    lines.extend(alt)
+                    lines.append(f"{indent}end")
+            elif isinstance(stmt, ir.Block):
+                lines.extend(self._memory_writes(name, stmt, indent))
         return lines
 
     # -------------------------------------------------------------- expressions

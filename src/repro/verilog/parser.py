@@ -243,12 +243,30 @@ class VerilogParser:
             msb, lsb = self._parse_range(module)
         while True:
             name = self._advance().text
+            depth: int | None = None
             if self._peek().text == "[":
-                raise VerilogParseError("memory arrays are not supported", self._peek().line)
+                # Memory array: reg [w-1:0] name [lo:hi];
+                if kind != "reg":
+                    raise VerilogParseError(
+                        "memory arrays must be declared as reg", self._peek().line
+                    )
+                line = self._peek().line
+                lo, hi = self._parse_range(module)
+                if lo > hi:
+                    lo, hi = hi, lo
+                if lo != 0:
+                    raise VerilogParseError(
+                        "memory arrays must be zero-based (e.g. [0:depth-1])", line
+                    )
+                depth = hi - lo + 1
             if self._accept("="):
+                if depth is not None:
+                    raise VerilogParseError(
+                        "memory arrays cannot have initializers", self._peek().line
+                    )
                 value = self._parse_expression()
                 module.assigns.append(vast.VAssign(vast.VIdent(name), value))
-            module.nets.append(vast.VNet(name, kind, msb, lsb, signed))
+            module.nets.append(vast.VNet(name, kind, msb, lsb, signed, depth))
             if not self._accept(","):
                 break
         self._expect(";")

@@ -71,6 +71,9 @@ class Simulation:
     backend: str = "auto"
 
     def __post_init__(self) -> None:
+        self.memory_depths: dict[str, int] = {}
+        self.memories: dict[str, list[int]] = {}
+        self._pending_mem_writes: list[tuple[str, int, int]] = []
         for port in self.module.ports:
             self.signals[port.name] = _SignalInfo(
                 port.width, port.signed, is_input=(port.direction == "input")
@@ -81,6 +84,8 @@ class Simulation:
                 self.signals[net.name].signed = self.signals[net.name].signed or net.signed
                 continue
             self.signals[net.name] = _SignalInfo(net.width, net.signed)
+            if net.depth is not None:
+                self.memory_depths[net.name] = net.depth
 
         resolved = self.backend
         if resolved == "auto":
@@ -107,7 +112,11 @@ class Simulation:
                 self._state = kernel.new_state()
         if self._kernel is None:
             for name, info in self.signals.items():
+                if name in self.memory_depths:
+                    continue  # memory state lives element-wise in self.memories
                 self.values[name] = Bits(0, info.width, info.signed)
+            for name, depth in self.memory_depths.items():
+                self.memories[name] = [0] * depth
         self.settle()
 
     @property
@@ -222,6 +231,7 @@ class Simulation:
         for _ in range(cycles):
             self._settle_if_needed()
             pending: dict[str, Bits] = {}
+            self._pending_mem_writes = []
             for block in self.module.always_blocks:
                 if block.is_combinational:
                     continue
@@ -231,6 +241,11 @@ class Simulation:
             for name, value in pending.items():
                 info = self._info(name)
                 self.values[name] = Bits(value.value, info.width, info.signed)
+            # Memory writes commit after every block ran, so same-edge reads
+            # observed the old contents (read-first semantics).
+            for name, index, raw in self._pending_mem_writes:
+                self.memories[name][index] = raw
+            self._pending_mem_writes = []
             self._needs_settle = True
 
     # --------------------------------------------------------- block execution
@@ -314,6 +329,19 @@ class Simulation:
             name = _target_name(target.target)
             info = self._info(name)
             index = self._eval(target.index, source).value
+            if name in self.memory_depths:
+                # Memory element write; out-of-range addresses are dropped.
+                if index >= self.memory_depths[name]:
+                    return False
+                raw = value.value & mask(info.width)
+                if base is not None:
+                    # Non-blocking inside a clocked block: defer the commit so
+                    # same-edge reads still see the old element (read-first).
+                    self._pending_mem_writes.append((name, index, raw))
+                    return True
+                changed = self.memories[name][index] != raw
+                self.memories[name][index] = raw
+                return changed
             current = store.get(name, source.get(name, Bits(0, info.width, info.signed)))
             if index >= info.width:
                 return False
@@ -349,6 +377,11 @@ class Simulation:
         if isinstance(target, vast.VIdent):
             return self._info(target.name).width
         if isinstance(target, vast.VIndex):
+            if (
+                isinstance(target.target, vast.VIdent)
+                and target.target.name in self.memory_depths
+            ):
+                return self._info(target.target.name).width
             return 1
         if isinstance(target, vast.VRange):
             return target.msb - target.lsb + 1
@@ -434,6 +467,21 @@ class Simulation:
             replicated = Bits(part_value.value, part_width).replicate(expr.count)
             return Bits(replicated.value, max(width, replicated.width), False)
         if isinstance(expr, vast.VIndex):
+            if (
+                isinstance(expr.target, vast.VIdent)
+                and expr.target.name in self.memory_depths
+            ):
+                name = expr.target.name
+                info = self._info(name)
+                index = self._eval(expr.index, env).value
+                element = (
+                    self.memories[name][index]
+                    if index < self.memory_depths[name]
+                    else 0  # out-of-range reads collapse to 0 (two-state)
+                )
+                if signed:
+                    element = to_signed(element, info.width)
+                return Bits(element, max(width, info.width), signed)
             target = self._eval(expr.target, env)
             index = self._eval(expr.index, env).value
             bit = (target.value >> index) & 1 if index < target.width else 0

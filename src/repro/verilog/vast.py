@@ -150,6 +150,7 @@ class VNet:
     msb: int = 0
     lsb: int = 0
     signed: bool = False
+    depth: int | None = None  # memory arrays: reg [msb:lsb] name [0:depth-1];
 
     @property
     def width(self) -> int:

@@ -61,12 +61,20 @@ def run_to_completion(store, *extra):
 
 class TestSigkillResume:
     def test_kill_resume_converges_bit_identically(self, tmp_path):
+        started = time.monotonic()
         reference = run_to_completion(tmp_path / "reference")
+        reference_seconds = time.monotonic() - started
         assert reference["status"] == "complete"
 
         store = tmp_path / "chaos"
         rng = seeded_rng("campaign-sigkill", 7)
         argv = campaign_argv(store, "--throttle", "0.02")
+        # Kill delays are derived from the measured fault-free runtime so the
+        # window stays inside the campaign regardless of how fast the quick
+        # spec's workload happens to be on this machine or revision, and they
+        # escalate per attempt so early rounds kill mid-run while later rounds
+        # leave a mostly-resumed campaign room to finish.
+        window = max(0.15, min(reference_seconds * 0.6, 1.2))
         kills = 0
         for attempt in range(8):
             process = subprocess.Popen(
@@ -76,7 +84,7 @@ class TestSigkillResume:
                 stderr=subprocess.PIPE,
                 text=True,
             )
-            delay = 0.2 + rng.random() * 1.2
+            delay = 0.1 + rng.random() * window + attempt * max(reference_seconds, 0.5)
             time.sleep(delay)
             if process.poll() is not None:
                 process.wait()
